@@ -1,0 +1,69 @@
+// Ablation B: unroll (pipelining) factor sweep.  Cross-iteration chains
+// (add-add, add-compare) should appear at factor 2 and keep growing slowly;
+// factor 1 (no pipelining, percolation only) isolates the pipelining
+// contribution from pure percolation.
+// Timers: the optimize pass at each factor.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+double combined_at_factor(const char* name, int factor) {
+  const auto sig = chain::parse_signature(name);
+  opt::OptimizeOptions options;
+  options.unroll.factor = factor;
+  double sum = 0.0;
+  for (const auto& w : wl::suite()) {
+    const auto& p = bench::prepared_workload(w.name);
+    const auto result = pipeline::analyze_level(p, opt::OptLevel::O1, {}, options);
+    sum += result.frequency_of(*sig);
+  }
+  return sum / static_cast<double>(wl::suite().size());
+}
+
+void print_sweep() {
+  std::printf("=== Ablation B: pipelining (unroll) factor sweep at O1 ===\n");
+  TextTable table({"sequence", "factor 1", "factor 2", "factor 3", "factor 4"});
+  for (const char* name :
+       {"add-add", "add-compare", "fadd-fadd", "add-multiply", "fmultiply-fadd",
+        "add-load"}) {
+    std::vector<std::string> row{name};
+    for (int factor : {1, 2, 3, 4}) {
+      row.push_back(format_percent(combined_at_factor(name, factor)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_OptimizeAtFactor(benchmark::State& state) {
+  const int factor = static_cast<int>(state.range(0));
+  for (const auto& w : wl::suite()) bench::prepared_workload(w.name);
+  opt::OptimizeOptions options;
+  options.unroll.factor = factor;
+  for (auto _ : state) {
+    std::size_t instrs = 0;
+    for (const auto& w : wl::suite()) {
+      ir::Module variant = bench::prepared_workload(w.name).module;
+      opt::optimize(variant, opt::OptLevel::O1, options);
+      instrs += variant.instr_count();
+    }
+    benchmark::DoNotOptimize(instrs);
+  }
+}
+BENCHMARK(BM_OptimizeAtFactor)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

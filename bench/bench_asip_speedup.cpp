@@ -1,0 +1,84 @@
+// Closing the paper's Figure-1 loop: the ASIP design stage consumes the
+// compiler feedback (coverage at the pipelined level), selects chained
+// instructions under an area budget, and reports the customized processor's
+// speedup per benchmark.  Swept over area budgets.
+// Timers: coverage + selection per benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "asip/extension.hpp"
+#include "asip/rewrite.hpp"
+#include "bench/common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+/// Simulated speedup: fuse the selected chains in the optimized program and
+/// re-run it — cycles are measured, not estimated.
+double measured_speedup(const std::string& name, double area_budget) {
+  const auto& w = wl::workload(name);
+  const auto& p = bench::prepared_workload(name);
+  ir::Module variant = pipeline::optimized_variant(p, opt::OptLevel::O1);
+  const auto coverage = chain::coverage_analysis(variant, {}, p.total_cycles);
+
+  asip::SelectionOptions options;
+  options.area_budget = area_budget;
+  const auto proposal = asip::propose_extensions(coverage, p.total_cycles, {}, options);
+  std::vector<chain::Signature> selected;
+  for (const auto& s : proposal.selected) selected.push_back(s.signature);
+  asip::apply_fusion(variant, coverage, selected);
+
+  const auto run = pipeline::execute(variant, w.input, {});
+  return static_cast<double>(run.steps) / static_cast<double>(run.cycles);
+}
+
+void print_speedups() {
+  std::printf("=== ASIP customization speedup (Figure-1 loop closed) ===\n");
+  const double budgets[] = {10.0, 20.0, 40.0, 80.0};
+  TextTable table({"Benchmark", "area 10", "area 20", "area 40", "area 80",
+                   "measured (sim, area 40)", "top selection (area 40)"});
+  for (const auto& w : wl::suite()) {
+    const auto& p = bench::prepared_workload(w.name);
+    const auto coverage = pipeline::coverage_at_level(p, opt::OptLevel::O1);
+    std::vector<std::string> row{w.name};
+    std::string top_selection = "-";
+    for (double budget : budgets) {
+      asip::SelectionOptions options;
+      options.area_budget = budget;
+      const auto proposal =
+          asip::propose_extensions(coverage, p.total_cycles, {}, options);
+      row.push_back(format_fixed(proposal.speedup(), 3) + "x");
+      if (budget == 40.0 && !proposal.selected.empty()) {
+        top_selection = proposal.selected[0].signature.to_string();
+      }
+    }
+    row.push_back(format_fixed(measured_speedup(w.name, 40.0), 3) + "x");
+    row.push_back(top_selection);
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_ProposeExtensions(benchmark::State& state) {
+  const auto& w = wl::suite()[static_cast<std::size_t>(state.range(0))];
+  const auto& p = bench::prepared_workload(w.name);
+  for (auto _ : state) {
+    const auto coverage = pipeline::coverage_at_level(p, opt::OptLevel::O1);
+    const auto proposal = asip::propose_extensions(coverage, p.total_cycles);
+    benchmark::DoNotOptimize(proposal.customized_cycles);
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_ProposeExtensions)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_speedups();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Extension (paper section 8, future work): ILP characterization of the
+// application suite for multiple-issue instruction-set feedback.
+// ops/cycle per benchmark at issue widths 1/2/4/8, unoptimized vs fully
+// optimized — renaming raises ILP even though it erodes chains.
+// Timers: the list scheduler per width.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "opt/ilp.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+void print_ilp() {
+  std::printf("=== Extension: ILP characterization (ops/cycle) ===\n");
+  TextTable table({"Benchmark", "O0 w1", "O0 w2", "O0 w4", "O0 w8",
+                   "O2 w1", "O2 w2", "O2 w4", "O2 w8"});
+  for (const auto& w : wl::suite()) {
+    const auto& p = bench::prepared_workload(w.name);
+    std::vector<std::string> row{w.name};
+    for (auto level : {opt::OptLevel::O0, opt::OptLevel::O2}) {
+      ir::Module variant = pipeline::optimized_variant(p, level);
+      for (int width : {1, 2, 4, 8}) {
+        row.push_back(format_fixed(opt::measure_ilp(variant, width).ops_per_cycle, 2));
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_MeasureIlp(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (const auto& w : wl::suite()) bench::prepared_workload(w.name);
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& w : wl::suite()) {
+      total += opt::measure_ilp(bench::prepared_workload(w.name).module, width)
+                   .ops_per_cycle;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel("width=" + std::to_string(width));
+}
+BENCHMARK(BM_MeasureIlp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_ilp();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Figure 3: dynamic frequencies of all length-2 sequences
+// detected across the combined benchmark suite, sorted descending, at the
+// three optimization levels.  Timers: length-2 detection per level.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+void print_figure3() {
+  for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+    const auto series = bench::combined_series(2, level);
+    std::printf("=== Figure 3: length-2 sequences, %s (%zu sequences) ===\n%s\n",
+                std::string(opt::to_string(level)).c_str(), series.size(),
+                bench::render_series(series).c_str());
+  }
+}
+
+void BM_DetectLen2(benchmark::State& state) {
+  const auto level = static_cast<opt::OptLevel>(state.range(0));
+  // Pre-warm the prepared cache so the timer measures optimization+detection.
+  for (const auto& w : wl::suite()) bench::prepared_workload(w.name);
+  chain::DetectorOptions options;
+  options.min_length = 2;
+  options.max_length = 2;
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& w : wl::suite()) {
+      const auto result =
+          pipeline::analyze_level(bench::prepared_workload(w.name), level, options);
+      total += result.sequences.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel(std::string(opt::to_string(level)));
+}
+BENCHMARK(BM_DetectLen2)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

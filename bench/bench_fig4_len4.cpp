@@ -1,0 +1,49 @@
+// Reproduces paper Figure 4: dynamic frequencies of all length-4 sequences
+// detected across the combined suite at the three optimization levels.
+// Timers: length-4 detection per level.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+void print_figure4() {
+  for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+    const auto series = bench::combined_series(4, level);
+    std::printf("=== Figure 4: length-4 sequences, %s (%zu sequences) ===\n%s\n",
+                std::string(opt::to_string(level)).c_str(), series.size(),
+                bench::render_series(series).c_str());
+  }
+}
+
+void BM_DetectLen4(benchmark::State& state) {
+  const auto level = static_cast<opt::OptLevel>(state.range(0));
+  for (const auto& w : wl::suite()) bench::prepared_workload(w.name);
+  chain::DetectorOptions options;
+  options.min_length = 4;
+  options.max_length = 4;
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& w : wl::suite()) {
+      const auto result =
+          pipeline::analyze_level(bench::prepared_workload(w.name), level, options);
+      total += result.sequences.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetLabel(std::string(opt::to_string(level)));
+}
+BENCHMARK(BM_DetectLen4)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

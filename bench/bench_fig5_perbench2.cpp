@@ -1,0 +1,54 @@
+// Reproduces paper Figure 5: per-benchmark length-2 sequences with dynamic
+// frequency >= 5%, at the optimized (pipelined) level.
+// Timers: per-benchmark length-2 detection.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+void print_figure5() {
+  std::printf("=== Figure 5: detected chainable sequences of length 2 "
+              "(>= 5%%, pipelined) ===\n");
+  chain::DetectorOptions options;
+  options.min_length = 2;
+  options.max_length = 2;
+  for (const auto& w : wl::suite()) {
+    const auto result = pipeline::analyze_level(bench::prepared_workload(w.name),
+                                                opt::OptLevel::O1, options);
+    TextTable table({"sequence", "dyn freq"});
+    for (const auto& stat : result.sequences) {
+      if (stat.frequency < 5.0) break;
+      table.add_row({stat.signature.to_string(), format_percent(stat.frequency)});
+    }
+    std::printf("--- %s ---\n%s\n", w.name.c_str(), table.render().c_str());
+  }
+}
+
+void BM_PerBenchLen2(benchmark::State& state) {
+  const auto& w = wl::suite()[static_cast<std::size_t>(state.range(0))];
+  const auto& p = bench::prepared_workload(w.name);
+  chain::DetectorOptions options;
+  options.min_length = 2;
+  options.max_length = 2;
+  for (auto _ : state) {
+    const auto result = pipeline::analyze_level(p, opt::OptLevel::O1, options);
+    benchmark::DoNotOptimize(result.paths);
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_PerBenchLen2)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Table 1: benchmark descriptions, sizes, and data inputs —
+// extended with the measured baseline dynamic operation counts.
+// Timers: front-end + profiling cost per benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+void print_table1() {
+  TextTable table({"Benchmark", "Lines", "Description", "Data Input",
+                   "Dynamic ops (O0)"});
+  for (const auto& w : wl::suite()) {
+    const auto& p = bench::prepared_workload(w.name);
+    table.add_row({w.name, std::to_string(wl::source_lines(w)), w.description,
+                   w.data_description, std::to_string(p.total_cycles)});
+  }
+  std::printf("=== Table 1: Benchmark Descriptions ===\n%s\n",
+              table.render().c_str());
+}
+
+void BM_CompileAndProfile(benchmark::State& state) {
+  const auto& w = wl::suite()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto p = pipeline::prepare(w.source, w.name, w.input);
+    benchmark::DoNotOptimize(p.total_cycles);
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_CompileAndProfile)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Table 2: example sequences and their dynamic frequencies
+// across the three optimization levels (suite-combined).  The paper's five
+// rows are printed first, then our measured top sequences for context.
+// Timers: the full three-level analysis of the suite.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+void print_table2() {
+  const char* paper_rows[] = {"multiply-add", "add-multiply", "add-add",
+                              "add-multiply-add", "multiply-add-add"};
+  // Our float-heavy suite expresses the MAC as fmultiply-fadd as well.
+  const char* extra_rows[] = {"fmultiply-fadd", "fadd-fadd", "add-compare",
+                              "add-shift-add", "add-load", "fload-fmultiply"};
+
+  TextTable table({"Operation Sequence", "O0 (none)", "O1 (pipelined)",
+                   "O2 (pipelined+renamed)"});
+  auto add_row = [&](const char* name) {
+    const auto sig = chain::parse_signature(name);
+    if (!sig) return;
+    table.add_row({name,
+                   format_percent(bench::combined_frequency(*sig, opt::OptLevel::O0)),
+                   format_percent(bench::combined_frequency(*sig, opt::OptLevel::O1)),
+                   format_percent(bench::combined_frequency(*sig, opt::OptLevel::O2))});
+  };
+  for (const char* name : paper_rows) add_row(name);
+  std::printf("=== Table 2: detected sequence examples (paper rows) ===\n%s\n",
+              table.render().c_str());
+
+  TextTable extra({"Operation Sequence", "O0", "O1", "O2"});
+  for (const char* name : extra_rows) {
+    const auto sig = chain::parse_signature(name);
+    extra.add_row({name,
+                   format_percent(bench::combined_frequency(*sig, opt::OptLevel::O0)),
+                   format_percent(bench::combined_frequency(*sig, opt::OptLevel::O1)),
+                   format_percent(bench::combined_frequency(*sig, opt::OptLevel::O2))});
+  }
+  std::printf("=== Table 2 (cont.): additional prominent sequences ===\n%s\n",
+              extra.render().c_str());
+}
+
+void BM_ThreeLevelAnalysis(benchmark::State& state) {
+  const auto& w = wl::suite()[static_cast<std::size_t>(state.range(0))];
+  const auto& p = bench::prepared_workload(w.name);
+  for (auto _ : state) {
+    for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+      const auto result = pipeline::analyze_level(p, level);
+      benchmark::DoNotOptimize(result.paths);
+    }
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_ThreeLevelAnalysis)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

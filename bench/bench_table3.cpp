@@ -1,0 +1,63 @@
+// Reproduces paper Table 3: iterative sequence coverage on sewha, feowf,
+// bspline, edge, and iir — with ("yes" = pipelined+percolated) and without
+// ("no" = unscheduled, adjacency-restricted) the parallelizing optimizations.
+// Timers: coverage analysis per benchmark and mode.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "chain/report.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace asipfb;
+
+const char* const kTable3Benchmarks[] = {"sewha", "feowf", "bspline", "edge", "iir"};
+
+void print_table3() {
+  std::printf("=== Table 3: Sequence Coverage ===\n");
+  TextTable table({"Benchmark", "Opt.", "Sequences", "Frequency", "Coverage"});
+  for (const char* name : kTable3Benchmarks) {
+    const auto& p = bench::prepared_workload(name);
+    for (bool optimized : {true, false}) {
+      const auto coverage = pipeline::coverage_at_level(
+          p, optimized ? opt::OptLevel::O1 : opt::OptLevel::O0);
+      bool first = true;
+      for (const auto& step : coverage.steps) {
+        table.add_row({first ? name : "", first ? (optimized ? "yes" : "no") : "",
+                       step.signature.to_string(), format_percent(step.frequency),
+                       first ? format_percent(coverage.total_coverage) : ""});
+        first = false;
+      }
+      if (first) {
+        table.add_row({name, optimized ? "yes" : "no", "(none above floor)",
+                       "-", format_percent(0.0)});
+      }
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_Coverage(benchmark::State& state) {
+  const char* name = kTable3Benchmarks[state.range(0) / 2];
+  const bool optimized = state.range(0) % 2 == 0;
+  const auto& p = bench::prepared_workload(name);
+  for (auto _ : state) {
+    const auto coverage = pipeline::coverage_at_level(
+        p, optimized ? opt::OptLevel::O1 : opt::OptLevel::O0);
+    benchmark::DoNotOptimize(coverage.total_coverage);
+  }
+  state.SetLabel(std::string(name) + (optimized ? "/yes" : "/no"));
+}
+BENCHMARK(BM_Coverage)->DenseRange(0, 9)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

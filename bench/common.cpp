@@ -1,0 +1,74 @@
+#include "bench/common.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/table.hpp"
+
+namespace asipfb::bench {
+
+const pipeline::PreparedProgram& prepared_workload(const std::string& name) {
+  static std::map<std::string, pipeline::PreparedProgram> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const auto& w = wl::workload(name);
+    it = cache.emplace(name, pipeline::prepare(w.source, w.name, w.input)).first;
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Per-(workload, level) detection cache; detection is deterministic.
+const chain::DetectionResult& detection(const std::string& name, opt::OptLevel level) {
+  static std::map<std::pair<std::string, int>, chain::DetectionResult> cache;
+  const auto key = std::make_pair(name, static_cast<int>(level));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, pipeline::analyze_level(prepared_workload(name), level))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+double combined_frequency(const chain::Signature& sig, opt::OptLevel level) {
+  double sum = 0.0;
+  for (const auto& w : wl::suite()) {
+    sum += detection(w.name, level).frequency_of(sig);
+  }
+  return sum / static_cast<double>(wl::suite().size());
+}
+
+std::vector<SeriesPoint> combined_series(int length, opt::OptLevel level) {
+  std::map<chain::Signature, double> sums;
+  for (const auto& w : wl::suite()) {
+    for (const auto& stat : detection(w.name, level).sequences) {
+      if (static_cast<int>(stat.signature.length()) == length) {
+        sums[stat.signature] += stat.frequency;
+      }
+    }
+  }
+  std::vector<SeriesPoint> series;
+  series.reserve(sums.size());
+  for (const auto& [sig, sum] : sums) {
+    series.push_back({sig, sum / static_cast<double>(wl::suite().size())});
+  }
+  std::sort(series.begin(), series.end(), [](const SeriesPoint& a, const SeriesPoint& b) {
+    if (a.frequency != b.frequency) return a.frequency > b.frequency;
+    return a.signature < b.signature;
+  });
+  return series;
+}
+
+std::string render_series(const std::vector<SeriesPoint>& series, std::size_t top_n) {
+  TextTable table({"#", "dyn freq", "sequence"});
+  for (std::size_t i = 0; i < series.size() && i < top_n; ++i) {
+    table.add_row({std::to_string(i + 1), format_percent(series[i].frequency),
+                   series[i].signature.to_string()});
+  }
+  return table.render();
+}
+
+}  // namespace asipfb::bench

@@ -1,0 +1,38 @@
+// Shared support for the table/figure regeneration binaries.
+//
+// Every bench binary prints the paper artifact it reproduces (table rows or
+// figure series) and then runs google-benchmark timers over the underlying
+// analyses, so `for b in build/bench/*; do $b; done` both regenerates the
+// evaluation and measures the framework.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/detect.hpp"
+#include "opt/optimizer.hpp"
+#include "pipeline/driver.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb::bench {
+
+/// Cached compile+profile of a suite workload (expensive: full simulation).
+const pipeline::PreparedProgram& prepared_workload(const std::string& name);
+
+/// Suite-combined frequency of a signature: equal-weight mean of the twelve
+/// per-benchmark frequencies (DESIGN.md section 5).
+double combined_frequency(const chain::Signature& sig, opt::OptLevel level);
+
+/// All signatures of exactly `length` with their suite-combined frequencies,
+/// sorted descending — one figure series.
+struct SeriesPoint {
+  chain::Signature signature;
+  double frequency = 0.0;
+};
+std::vector<SeriesPoint> combined_series(int length, opt::OptLevel level);
+
+/// Renders a figure series as "rank  frequency  sequence" rows.
+std::string render_series(const std::vector<SeriesPoint>& series,
+                          std::size_t top_n = 45);
+
+}  // namespace asipfb::bench

@@ -1,0 +1,41 @@
+// asip_designer: closes the paper's Figure-1 loop over the whole suite.
+//
+// For every benchmark: run the compiler feedback analysis (coverage at the
+// pipelined level), hand the candidates to the ASIP design stage, and print
+// the selected chained-instruction extensions with their area, delay, and
+// the customized processor's speedup.
+//
+//   $ ./examples/asip_designer [area-budget]     (default 40 adder-equivalents)
+#include <cstdio>
+#include <cmath>
+#include <cstdlib>
+
+#include "asip/extension.hpp"
+#include "workloads/suite.hpp"
+
+using namespace asipfb;
+
+int main(int argc, char** argv) {
+  asip::SelectionOptions selection;
+  if (argc > 1) selection.area_budget = std::atof(argv[1]);
+  std::printf("ASIP designer — area budget %.1f adder-equivalents, cycle "
+              "budget %.1f adder delays\n\n",
+              selection.area_budget, selection.cycle_budget);
+
+  double speedup_product = 1.0;
+  int count = 0;
+  for (const auto& w : wl::suite()) {
+    const auto prepared = pipeline::prepare(w.source, w.name, w.input);
+    const auto coverage = pipeline::coverage_at_level(prepared, opt::OptLevel::O1);
+    const auto proposal = asip::propose_extensions(coverage, prepared.total_cycles,
+                                                   {}, selection);
+    std::printf("=== %s ===\n%s\n", w.name.c_str(),
+                asip::render_proposal(proposal).c_str());
+    speedup_product *= proposal.speedup();
+    ++count;
+  }
+
+  std::printf("geometric-mean speedup over the suite: %.3fx\n",
+              count > 0 ? std::pow(speedup_product, 1.0 / count) : 1.0);
+  return 0;
+}

@@ -1,0 +1,163 @@
+// asipfb_cli: run the full compiler-feedback flow on your own BenchC file.
+//
+//   $ ./examples/asipfb_cli kernel.bc [options]
+//     --level O0|O1|O2     optimization level for analysis   (default O1)
+//     --min N / --max N    sequence length bounds            (default 2 / 5)
+//     --coverage           run the iterative coverage analysis too
+//     --floor P            coverage significance floor        (default 4.0)
+//     --ilp                print ops/cycle at widths 1/2/4/8
+//     --asip AREA          propose chained instructions under an area budget
+//     --dump-ir            print the optimized 3-address code
+//
+// Input data: all globals start zeroed; seed arrays from inside main (the
+// bundled benchmarks show the pattern), or extend WorkloadInput binding here.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "asip/extension.hpp"
+#include "chain/report.hpp"
+#include "ir/printer.hpp"
+#include "opt/ilp.hpp"
+#include "pipeline/driver.hpp"
+
+using namespace asipfb;
+
+namespace {
+
+struct CliOptions {
+  std::string file;
+  opt::OptLevel level = opt::OptLevel::O1;
+  chain::DetectorOptions detector;
+  bool run_coverage = false;
+  chain::CoverageOptions coverage;
+  bool run_ilp = false;
+  double asip_area = -1.0;
+  bool dump_ir = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: asipfb_cli <file.bc> [--level O0|O1|O2] [--min N] "
+               "[--max N]\n                  [--coverage] [--floor P] [--ilp] "
+               "[--asip AREA] [--dump-ir]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--level") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "O0") == 0) options.level = opt::OptLevel::O0;
+      else if (std::strcmp(v, "O1") == 0) options.level = opt::OptLevel::O1;
+      else if (std::strcmp(v, "O2") == 0) options.level = opt::OptLevel::O2;
+      else return false;
+    } else if (arg == "--min") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.detector.min_length = std::atoi(v);
+    } else if (arg == "--max") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.detector.max_length = std::atoi(v);
+    } else if (arg == "--coverage") {
+      options.run_coverage = true;
+    } else if (arg == "--floor") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.coverage.floor_percent = std::atof(v);
+    } else if (arg == "--ilp") {
+      options.run_ilp = true;
+    } else if (arg == "--asip") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.asip_area = std::atof(v);
+    } else if (arg == "--dump-ir") {
+      options.dump_ir = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      options.file = arg;
+    } else {
+      return false;
+    }
+  }
+  return !options.file.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) return usage();
+
+  std::ifstream in(options.file);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", options.file.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    pipeline::WorkloadInput input;
+    const auto prepared = pipeline::prepare(buffer.str(), options.file, input);
+    std::printf("%s: %llu dynamic operations, main returned %d\n\n",
+                options.file.c_str(),
+                static_cast<unsigned long long>(prepared.total_cycles),
+                prepared.baseline_run.exit_code);
+
+    const auto detection =
+        pipeline::analyze_level(prepared, options.level, options.detector);
+    std::printf("--- chainable sequences at %s ---\n%s\n",
+                std::string(opt::to_string(options.level)).c_str(),
+                chain::render_top_sequences(detection, 20).c_str());
+
+    if (options.run_coverage) {
+      const auto coverage =
+          pipeline::coverage_at_level(prepared, options.level, options.coverage);
+      std::printf("--- coverage ---\n%s\n", chain::render_coverage(coverage).c_str());
+      if (options.asip_area > 0.0) {
+        asip::SelectionOptions selection;
+        selection.area_budget = options.asip_area;
+        const auto proposal = asip::propose_extensions(
+            coverage, prepared.total_cycles, {}, selection);
+        std::printf("--- ASIP extension proposal ---\n%s\n",
+                    asip::render_proposal(proposal).c_str());
+      }
+    } else if (options.asip_area > 0.0) {
+      const auto coverage = pipeline::coverage_at_level(prepared, options.level,
+                                                        options.coverage);
+      asip::SelectionOptions selection;
+      selection.area_budget = options.asip_area;
+      const auto proposal =
+          asip::propose_extensions(coverage, prepared.total_cycles, {}, selection);
+      std::printf("--- ASIP extension proposal ---\n%s\n",
+                  asip::render_proposal(proposal).c_str());
+    }
+
+    if (options.run_ilp) {
+      const ir::Module variant = pipeline::optimized_variant(prepared, options.level);
+      std::printf("--- ILP (ops/cycle) ---\n");
+      for (int width : {1, 2, 4, 8}) {
+        std::printf("  width %d: %.2f\n", width,
+                    opt::measure_ilp(variant, width).ops_per_cycle);
+      }
+      std::printf("\n");
+    }
+
+    if (options.dump_ir) {
+      const ir::Module variant = pipeline::optimized_variant(prepared, options.level);
+      std::printf("--- optimized 3-address code ---\n%s\n",
+                  ir::to_string(variant, /*with_counts=*/true).c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

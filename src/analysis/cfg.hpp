@@ -1,0 +1,19 @@
+// Control-flow graph utilities over ir::Function.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace asipfb::analysis {
+
+/// Predecessor lists, one per block.
+[[nodiscard]] std::vector<std::vector<ir::BlockId>> predecessors(const ir::Function& fn);
+
+/// Blocks in reverse post-order from the entry (unreachable blocks excluded).
+[[nodiscard]] std::vector<ir::BlockId> reverse_post_order(const ir::Function& fn);
+
+/// True for blocks reachable from the entry.
+[[nodiscard]] std::vector<bool> reachable_blocks(const ir::Function& fn);
+
+}  // namespace asipfb::analysis

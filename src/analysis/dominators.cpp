@@ -1,0 +1,58 @@
+#include "analysis/dominators.hpp"
+
+#include "analysis/cfg.hpp"
+
+namespace asipfb::analysis {
+
+using ir::BlockId;
+
+DominatorTree::DominatorTree(const ir::Function& fn) {
+  const auto rpo = reverse_post_order(fn);
+  const auto preds = predecessors(fn);
+  idom_.assign(fn.blocks.size(), ir::kNoBlock);
+  if (rpo.empty()) return;
+
+  std::vector<int> rpo_index(fn.blocks.size(), -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = static_cast<int>(i);
+
+  const BlockId entry = rpo.front();
+  idom_[entry] = entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == entry) continue;
+      BlockId new_idom = ir::kNoBlock;
+      for (BlockId p : preds[b]) {
+        if (rpo_index[p] < 0 || idom_[p] == ir::kNoBlock) continue;
+        new_idom = new_idom == ir::kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != ir::kNoBlock && idom_[b] != new_idom) {
+        idom_[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId a, BlockId b) const {
+  if (b >= idom_.size() || idom_[b] == ir::kNoBlock) return false;
+  BlockId runner = b;
+  for (;;) {
+    if (runner == a) return true;
+    const BlockId up = idom_[runner];
+    if (up == runner) return false;  // Reached the entry.
+    runner = up;
+  }
+}
+
+}  // namespace asipfb::analysis

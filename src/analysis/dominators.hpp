@@ -1,0 +1,26 @@
+// Dominator tree computation (iterative Cooper-Harvey-Kennedy algorithm).
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace asipfb::analysis {
+
+/// Immediate dominators of all reachable blocks.
+class DominatorTree {
+public:
+  explicit DominatorTree(const ir::Function& fn);
+
+  /// Immediate dominator; the entry returns itself; unreachable blocks
+  /// return ir::kNoBlock.
+  [[nodiscard]] ir::BlockId idom(ir::BlockId block) const { return idom_[block]; }
+
+  /// True when `a` dominates `b` (reflexive).
+  [[nodiscard]] bool dominates(ir::BlockId a, ir::BlockId b) const;
+
+private:
+  std::vector<ir::BlockId> idom_;
+};
+
+}  // namespace asipfb::analysis

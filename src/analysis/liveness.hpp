@@ -1,0 +1,37 @@
+// Per-block register liveness (backward dataflow).
+//
+// Used by percolation scheduling to validate speculative motion: an
+// instruction may only be hoisted above a branch when its destination is not
+// live along the branch's other edge.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace asipfb::analysis {
+
+class Liveness {
+public:
+  explicit Liveness(const ir::Function& fn);
+
+  /// True when `reg` is live on entry to `block`.
+  [[nodiscard]] bool live_in(ir::BlockId block, ir::Reg reg) const {
+    return live_in_[block][reg.id];
+  }
+
+  /// True when `reg` is live on exit from `block`.
+  [[nodiscard]] bool live_out(ir::BlockId block, ir::Reg reg) const {
+    return live_out_[block][reg.id];
+  }
+
+  [[nodiscard]] const std::vector<bool>& live_in_set(ir::BlockId block) const {
+    return live_in_[block];
+  }
+
+private:
+  std::vector<std::vector<bool>> live_in_;
+  std::vector<std::vector<bool>> live_out_;
+};
+
+}  // namespace asipfb::analysis

@@ -1,0 +1,30 @@
+// Natural loop discovery from back edges.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace asipfb::analysis {
+
+/// One natural loop: header plus the set of blocks on paths from latches
+/// back to the header.
+struct NaturalLoop {
+  ir::BlockId header = ir::kNoBlock;
+  std::vector<ir::BlockId> latches;  ///< Blocks with a back edge to header.
+  std::vector<ir::BlockId> blocks;   ///< All loop blocks including header.
+  int depth = 1;                     ///< Nesting depth (1 = outermost).
+
+  [[nodiscard]] bool contains(ir::BlockId b) const {
+    for (ir::BlockId x : blocks) {
+      if (x == b) return true;
+    }
+    return false;
+  }
+};
+
+/// Finds all natural loops (one per header; back edges to the same header
+/// are merged).  Loops are sorted innermost-first by block count.
+[[nodiscard]] std::vector<NaturalLoop> find_loops(const ir::Function& fn);
+
+}  // namespace asipfb::analysis

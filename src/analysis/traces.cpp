@@ -1,0 +1,84 @@
+#include "analysis/traces.hpp"
+
+#include <algorithm>
+
+#include "analysis/cfg.hpp"
+
+namespace asipfb::analysis {
+
+using ir::BlockId;
+
+std::vector<std::vector<BlockId>> form_traces(const ir::Function& fn) {
+  const std::size_t nblocks = fn.blocks.size();
+  const auto preds = predecessors(fn);
+
+  auto count_of = [&](BlockId b) { return fn.blocks[b].exec_count(); };
+
+  // Most frequent successor / predecessor of each block (ties: lowest id).
+  auto best_succ = [&](BlockId b) -> BlockId {
+    BlockId best = ir::kNoBlock;
+    std::uint64_t best_count = 0;
+    for (BlockId s : fn.blocks[b].successors()) {
+      if (s == b) continue;
+      const std::uint64_t c = count_of(s);
+      if (best == ir::kNoBlock || c > best_count) {
+        best = s;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  auto best_pred = [&](BlockId b) -> BlockId {
+    BlockId best = ir::kNoBlock;
+    std::uint64_t best_count = 0;
+    for (BlockId p : preds[b]) {
+      if (p == b) continue;
+      const std::uint64_t c = count_of(p);
+      if (best == ir::kNoBlock || c > best_count) {
+        best = p;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+
+  // Seeds in descending execution count (stable by id).
+  std::vector<BlockId> seeds(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) seeds[b] = static_cast<BlockId>(b);
+  std::stable_sort(seeds.begin(), seeds.end(), [&](BlockId a, BlockId b) {
+    return count_of(a) > count_of(b);
+  });
+
+  std::vector<bool> visited(nblocks, false);
+  std::vector<std::vector<BlockId>> traces;
+
+  for (BlockId seed : seeds) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    std::vector<BlockId> trace{seed};
+    if (count_of(seed) > 0) {
+      // Grow forward along mutual-most-likely edges.
+      for (BlockId tail = seed;;) {
+        const BlockId next = best_succ(tail);
+        if (next == ir::kNoBlock || visited[next] || count_of(next) == 0) break;
+        if (best_pred(next) != tail) break;
+        visited[next] = true;
+        trace.push_back(next);
+        tail = next;
+      }
+      // Grow backward from the seed.
+      for (BlockId head = seed;;) {
+        const BlockId prev = best_pred(head);
+        if (prev == ir::kNoBlock || visited[prev] || count_of(prev) == 0) break;
+        if (best_succ(prev) != head) break;
+        visited[prev] = true;
+        trace.insert(trace.begin(), prev);
+        head = prev;
+      }
+    }
+    traces.push_back(std::move(trace));
+  }
+  return traces;
+}
+
+}  // namespace asipfb::analysis

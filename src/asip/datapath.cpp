@@ -1,0 +1,68 @@
+#include "asip/datapath.hpp"
+
+namespace asipfb::asip {
+
+using ir::ChainClass;
+
+double DatapathModel::unit_area(ChainClass c) const {
+  switch (c) {
+    case ChainClass::Add: return 1.0;
+    case ChainClass::Subtract: return 1.1;
+    case ChainClass::Multiply: return 8.0;   // Array multiplier.
+    case ChainClass::Divide: return 14.0;
+    case ChainClass::Shift: return 0.9;      // Barrel shifter.
+    case ChainClass::Logic: return 0.4;
+    case ChainClass::Compare: return 0.8;
+    case ChainClass::Load: return 2.0;       // Address port + alignment.
+    case ChainClass::Store: return 2.0;
+    case ChainClass::FAdd: return 4.0;
+    case ChainClass::FSub: return 4.2;
+    case ChainClass::FMultiply: return 10.0;
+    case ChainClass::FDivide: return 20.0;
+    case ChainClass::FCompare: return 2.5;
+    case ChainClass::FLoad: return 2.0;
+    case ChainClass::FStore: return 2.0;
+    case ChainClass::None: return 0.0;
+  }
+  return 0.0;
+}
+
+double DatapathModel::unit_delay(ChainClass c) const {
+  switch (c) {
+    case ChainClass::Add: return 1.0;
+    case ChainClass::Subtract: return 1.0;
+    case ChainClass::Multiply: return 2.5;
+    case ChainClass::Divide: return 8.0;
+    case ChainClass::Shift: return 0.6;
+    case ChainClass::Logic: return 0.3;
+    case ChainClass::Compare: return 0.9;
+    case ChainClass::Load: return 2.0;      // Memory access.
+    case ChainClass::Store: return 2.0;
+    case ChainClass::FAdd: return 2.5;
+    case ChainClass::FSub: return 2.5;
+    case ChainClass::FMultiply: return 3.0;
+    case ChainClass::FDivide: return 10.0;
+    case ChainClass::FCompare: return 1.5;
+    case ChainClass::FLoad: return 2.0;
+    case ChainClass::FStore: return 2.0;
+    case ChainClass::None: return 0.0;
+  }
+  return 0.0;
+}
+
+double DatapathModel::chain_area(const chain::Signature& sig) const {
+  double area = 0.0;
+  for (ChainClass c : sig.classes) area += unit_area(c);
+  if (sig.classes.size() > 1) {
+    area += chain_overhead_area * static_cast<double>(sig.classes.size() - 1);
+  }
+  return area;
+}
+
+double DatapathModel::chain_delay(const chain::Signature& sig) const {
+  double delay = 0.0;
+  for (ChainClass c : sig.classes) delay += unit_delay(c);
+  return delay;
+}
+
+}  // namespace asipfb::asip

@@ -1,0 +1,32 @@
+// Datapath cost model for chained-instruction synthesis.
+//
+// Units are normalized to a 32-bit ripple-carry adder (area 1.0, delay 1.0),
+// the customary yardstick of early-90s high-level synthesis (Gajski et al.,
+// the paper's reference [6]).  A chained instruction's datapath is the
+// serial composition of its operators' functional units plus forwarding
+// overhead per internal link; its delay must fit the processor's cycle
+// budget for single-cycle chaining.
+#pragma once
+
+#include "chain/signature.hpp"
+#include "ir/opcode.hpp"
+
+namespace asipfb::asip {
+
+struct DatapathModel {
+  double chain_overhead_area = 0.15;  ///< Mux/latch per producer->consumer link.
+
+  /// Functional-unit area in adder equivalents.
+  [[nodiscard]] double unit_area(ir::ChainClass c) const;
+
+  /// Functional-unit latency in adder delays.
+  [[nodiscard]] double unit_delay(ir::ChainClass c) const;
+
+  /// Total datapath area of a chained instruction.
+  [[nodiscard]] double chain_area(const chain::Signature& sig) const;
+
+  /// End-to-end combinational delay of the chained datapath.
+  [[nodiscard]] double chain_delay(const chain::Signature& sig) const;
+};
+
+}  // namespace asipfb::asip

@@ -1,0 +1,171 @@
+#include "chain/coverage.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace asipfb::chain {
+
+namespace {
+
+using OpKey = OpRef;
+
+/// Enumerates every path of length [min,max] avoiding covered ops and
+/// invokes `fn(path_node_indices, weight)` for each.
+template <typename Callback>
+void for_each_path(const RegionGraph& region, const std::set<OpKey>& covered,
+                   const CoverageOptions& options, const Callback& fn) {
+  std::vector<std::size_t> path;
+  auto covered_node = [&](std::size_t node) {
+    return covered.count({region.func, region.nodes[node].instr_id}) != 0;
+  };
+
+  const auto extend = [&](const auto& self, std::size_t node,
+                          std::uint64_t weight_so_far) -> void {
+    const std::uint64_t weight =
+        std::min(weight_so_far, region.nodes[node].exec_count);
+    if (weight == 0) return;
+    path.push_back(node);
+    if (path.size() >= static_cast<std::size_t>(options.min_length)) {
+      fn(path, weight);
+    }
+    if (path.size() < static_cast<std::size_t>(options.max_length)) {
+      for (std::size_t succ : region.succs[node]) {
+        if (options.require_adjacency &&
+            region.nodes[succ].adjacent_pred != node) {
+          continue;
+        }
+        if (!covered_node(succ)) self(self, succ, weight);
+      }
+    }
+    path.pop_back();
+  };
+
+  for (std::size_t start = 0; start < region.nodes.size(); ++start) {
+    if (!covered_node(start)) extend(extend, start, UINT64_MAX);
+  }
+}
+
+}  // namespace
+
+CoverageResult coverage_analysis(const ir::Module& module,
+                                 const CoverageOptions& options,
+                                 std::uint64_t total_cycles) {
+  CoverageResult result;
+  result.total_cycles =
+      total_cycles != 0 ? total_cycles : module.total_dynamic_ops();
+  if (result.total_cycles == 0) return result;
+
+  const auto regions = build_region_graphs(module);
+  std::set<OpKey> covered;
+
+  auto frequency = [&](std::uint64_t cycles) {
+    return 100.0 * static_cast<double>(cycles) /
+           static_cast<double>(result.total_cycles);
+  };
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    // Phase 1: aggregate remaining frequency per signature.
+    std::map<Signature, std::uint64_t> aggregate;
+    for (const auto& region : regions) {
+      for_each_path(region, covered, options,
+                    [&](const std::vector<std::size_t>& path, std::uint64_t weight) {
+                      Signature sig;
+                      sig.classes.reserve(path.size());
+                      for (std::size_t node : path) {
+                        sig.classes.push_back(region.nodes[node].chain_class);
+                      }
+                      aggregate[sig] +=
+                          weight * static_cast<std::uint64_t>(path.size());
+                    });
+    }
+    if (aggregate.empty()) break;
+
+    // Candidates in descending aggregate order.
+    std::vector<std::pair<std::uint64_t, Signature>> candidates;
+    candidates.reserve(aggregate.size());
+    for (auto& [sig, cycles] : aggregate) candidates.emplace_back(cycles, sig);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+
+    // Phase 2: realize (greedy non-overlapping matching) each of the top
+    // aggregate candidates and commit the one with the highest realized
+    // coverage.  Aggregate frequencies over-count overlapping paths of long
+    // signatures, so ranking must use realized values.
+    struct Realization {
+      Signature signature;
+      std::set<OpKey> taken;
+      std::vector<std::vector<OpKey>> matches;
+      std::uint64_t cycles = 0;
+      std::size_t occurrences = 0;
+    };
+    Realization best;
+    const std::size_t candidate_limit = 16;
+    for (std::size_t ci = 0; ci < candidates.size() && ci < candidate_limit; ++ci) {
+      const auto& [agg_cycles, sig] = candidates[ci];
+      if (frequency(agg_cycles) < options.floor_percent) break;
+      if (agg_cycles <= best.cycles) break;  // Aggregate bounds realized.
+
+      struct Occurrence {
+        std::uint64_t weight;
+        std::vector<OpKey> ops;
+      };
+      std::vector<Occurrence> occurrences;
+      for (const auto& region : regions) {
+        for_each_path(
+            region, covered, options,
+            [&](const std::vector<std::size_t>& path, std::uint64_t weight) {
+              if (path.size() != sig.classes.size()) return;
+              for (std::size_t k = 0; k < path.size(); ++k) {
+                if (region.nodes[path[k]].chain_class != sig.classes[k]) return;
+              }
+              Occurrence occ;
+              occ.weight = weight;
+              occ.ops.reserve(path.size());
+              for (std::size_t node : path) {
+                occ.ops.emplace_back(region.func, region.nodes[node].instr_id);
+              }
+              occurrences.push_back(std::move(occ));
+            });
+      }
+      std::stable_sort(occurrences.begin(), occurrences.end(),
+                       [](const Occurrence& a, const Occurrence& b) {
+                         return a.weight > b.weight;
+                       });
+
+      Realization r;
+      r.signature = sig;
+      for (const auto& occ : occurrences) {
+        bool disjoint = true;
+        for (const OpKey& op : occ.ops) {
+          if (r.taken.count(op) != 0) disjoint = false;
+        }
+        if (!disjoint) continue;
+        for (const OpKey& op : occ.ops) r.taken.insert(op);
+        r.matches.push_back(occ.ops);
+        r.cycles += occ.weight * occ.ops.size();
+        ++r.occurrences;
+      }
+      if (r.cycles > best.cycles) best = std::move(r);
+    }
+
+    if (frequency(best.cycles) < options.floor_percent) break;
+
+    covered.insert(best.taken.begin(), best.taken.end());
+    CoverageStep step;
+    step.signature = best.signature;
+    step.cycles = best.cycles;
+    step.frequency = frequency(best.cycles);
+    step.occurrences_taken = best.occurrences;
+    step.matches = std::move(best.matches);
+    result.total_coverage += step.frequency;
+    result.steps.push_back(std::move(step));
+  }
+  return result;
+}
+
+}  // namespace asipfb::chain

@@ -1,0 +1,52 @@
+// Iterative sequence-coverage analysis (paper section 7, Table 3).
+//
+// Repeatedly: find the signature with the highest aggregate frequency over
+// still-uncovered operations, greedily commit a maximal set of
+// NON-OVERLAPPING occurrences of it (each operation is covered by at most
+// one chained instruction), and continue until no signature achieves the
+// significance floor.  Total coverage is the percentage of dynamic
+// operation-cycles covered by the selected chained instructions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/detect.hpp"
+
+namespace asipfb::chain {
+
+struct CoverageOptions {
+  int min_length = 2;
+  int max_length = 5;
+  double floor_percent = 4.0;  ///< Stop below this realized frequency.
+  int max_rounds = 12;         ///< Maximum chained instructions selected.
+  bool require_adjacency = false;  ///< See DetectorOptions::require_adjacency.
+};
+
+/// Reference to one static instruction of a module.
+using OpRef = std::pair<ir::FuncId, ir::InstrId>;
+
+/// One selected chained instruction.
+struct CoverageStep {
+  Signature signature;
+  double frequency = 0.0;           ///< Realized (non-overlapping) frequency.
+  std::uint64_t cycles = 0;         ///< Covered operation-cycles.
+  std::size_t occurrences_taken = 0;
+  /// The committed non-overlapping occurrences: the exact instructions each
+  /// chained-instruction instance fuses (ordered producer -> consumer).
+  /// Consumed by the ASIP rewriter (asip/rewrite.hpp).
+  std::vector<std::vector<OpRef>> matches;
+};
+
+struct CoverageResult {
+  std::vector<CoverageStep> steps;
+  double total_coverage = 0.0;      ///< Sum of step frequencies.
+  std::uint64_t total_cycles = 0;   ///< Denominator used.
+};
+
+/// Runs the iterative analysis.  `total_cycles` as in detect_sequences.
+[[nodiscard]] CoverageResult coverage_analysis(const ir::Module& module,
+                                               const CoverageOptions& options = {},
+                                               std::uint64_t total_cycles = 0);
+
+}  // namespace asipfb::chain

@@ -1,0 +1,28 @@
+#include "chain/report.hpp"
+
+#include "support/table.hpp"
+
+namespace asipfb::chain {
+
+std::string render_top_sequences(const DetectionResult& result, std::size_t top_n) {
+  TextTable table({"#", "sequence", "dyn freq", "cycles", "occurrences"});
+  for (std::size_t i = 0; i < result.sequences.size() && i < top_n; ++i) {
+    const auto& stat = result.sequences[i];
+    table.add_row({std::to_string(i + 1), stat.signature.to_string(),
+                   format_percent(stat.frequency), std::to_string(stat.cycles),
+                   std::to_string(stat.occurrences)});
+  }
+  return table.render();
+}
+
+std::string render_coverage(const CoverageResult& result) {
+  TextTable table({"sequence", "frequency", "occurrences"});
+  for (const auto& step : result.steps) {
+    table.add_row({step.signature.to_string(), format_percent(step.frequency),
+                   std::to_string(step.occurrences_taken)});
+  }
+  table.add_row({"TOTAL COVERAGE", format_percent(result.total_coverage), ""});
+  return table.render();
+}
+
+}  // namespace asipfb::chain

@@ -1,0 +1,18 @@
+// Designer-facing rendering of detection and coverage results.
+#pragma once
+
+#include <string>
+
+#include "chain/coverage.hpp"
+#include "chain/detect.hpp"
+
+namespace asipfb::chain {
+
+/// Table of the top-N sequences with frequencies and occurrence counts.
+[[nodiscard]] std::string render_top_sequences(const DetectionResult& result,
+                                               std::size_t top_n = 20);
+
+/// Table of selected chained instructions with per-step and total coverage.
+[[nodiscard]] std::string render_coverage(const CoverageResult& result);
+
+}  // namespace asipfb::chain

@@ -1,0 +1,39 @@
+#include "chain/signature.hpp"
+
+namespace asipfb::chain {
+
+std::string Signature::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (i != 0) out += '-';
+    out += std::string(ir::to_string(classes[i]));
+  }
+  return out;
+}
+
+std::optional<Signature> parse_signature(std::string_view text) {
+  Signature sig;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dash = text.find('-', start);
+    const std::string_view word =
+        text.substr(start, dash == std::string_view::npos ? text.size() - start
+                                                          : dash - start);
+    bool found = false;
+    for (int c = 0; c <= static_cast<int>(ir::ChainClass::None); ++c) {
+      const auto cc = static_cast<ir::ChainClass>(c);
+      if (cc != ir::ChainClass::None && ir::to_string(cc) == word) {
+        sig.classes.push_back(cc);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+    if (dash == std::string_view::npos) break;
+    start = dash + 1;
+  }
+  if (sig.classes.empty()) return std::nullopt;
+  return sig;
+}
+
+}  // namespace asipfb::chain

@@ -1,0 +1,38 @@
+// Sequence signatures — the names of candidate chained instructions.
+//
+// A signature is the ordered list of chain operator classes along a data-flow
+// path, e.g. multiply-add (the MAC of the paper's TMS320C5x example) or
+// fload-fmultiply.  Signatures are the unit of aggregation for frequencies
+// (Figures 3-6, Table 2) and the unit of selection for coverage (Table 3)
+// and for ASIP instruction-set extension.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/opcode.hpp"
+
+namespace asipfb::chain {
+
+struct Signature {
+  std::vector<ir::ChainClass> classes;
+
+  [[nodiscard]] std::size_t length() const { return classes.size(); }
+
+  /// Paper-style name: classes joined with '-' ("add-shift-add").
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.classes == b.classes;
+  }
+  friend bool operator<(const Signature& a, const Signature& b) {
+    return a.classes < b.classes;
+  }
+};
+
+/// Parses "multiply-add" style names; returns nullopt on unknown class names.
+[[nodiscard]] std::optional<Signature> parse_signature(std::string_view text);
+
+}  // namespace asipfb::chain

@@ -1,0 +1,142 @@
+// Abstract syntax tree for BenchC.
+//
+// Nodes are tagged structs (one Expr type, one Stmt type) rather than a class
+// hierarchy: the language is small and a closed tag set keeps sema and
+// lowering as exhaustive switches the compiler can check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "ir/type.hpp"
+#include "support/diagnostics.hpp"
+
+namespace asipfb::fe {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Storage classes a variable can have.
+enum class Storage : std::uint8_t { Global, Local, Param };
+
+/// A resolved variable; owned by the sema symbol tables, referenced by AST
+/// nodes after resolution.
+struct VarSym {
+  std::string name;
+  ir::Type type = ir::Type::I32;  ///< Element type for arrays.
+  bool is_array = false;
+  std::int32_t array_size = 0;    ///< Elements, when is_array.
+  Storage storage = Storage::Local;
+
+  // Assigned during lowering:
+  std::int32_t global_index = -1;   ///< Globals: index into Module::globals.
+  std::int32_t frame_offset = -1;   ///< Local arrays: word offset in frame.
+  std::uint32_t reg_id = 0;         ///< Scalars: backing virtual register.
+  bool reg_assigned = false;
+};
+
+enum class ExprKind : std::uint8_t {
+  IntLit,     ///< int_val
+  FloatLit,   ///< float_val
+  Var,        ///< name (resolved to sym)
+  Index,      ///< children[0] = index; name/sym = array
+  Call,       ///< name = callee; children = arguments
+  Unary,      ///< op in {Minus, Bang, Tilde}; children[0]
+  Binary,     ///< op; children[0], children[1]
+  Assign,     ///< op in {Assign or compound}; children[0] = lvalue, [1] = rhs
+  IncDec,     ///< op in {PlusPlus, MinusMinus}; is_prefix; children[0] = lvalue
+  Cast,       ///< cast_type; children[0]
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::IntLit;
+  SourceLoc loc;
+
+  std::int64_t int_val = 0;
+  double float_val = 0.0;
+  std::string name;
+  Tok op = Tok::End;
+  bool is_prefix = false;
+  ir::Type cast_type = ir::Type::I32;
+  std::vector<ExprPtr> children;
+
+  // Sema results:
+  ir::Type type = ir::Type::I32;  ///< Value type of the expression.
+  VarSym* sym = nullptr;          ///< For Var / Index.
+  std::int32_t callee_index = -1; ///< For Call: function table index; -1 = builtin.
+  std::int32_t builtin = -1;      ///< For Call: IntrinsicKind as int when builtin.
+};
+
+enum class StmtKind : std::uint8_t {
+  Block,     ///< body
+  Decl,      ///< sym (owned by sema), init = children[0] (optional)
+  ExprStmt,  ///< expr
+  If,        ///< expr = cond; body[0] = then; body[1] = else (optional)
+  While,     ///< expr = cond; body[0]
+  For,       ///< init_stmt; expr = cond (optional); step = expr2; body[0]
+  Return,    ///< expr (optional)
+  Break,
+  Continue,
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Block;
+  SourceLoc loc;
+
+  ExprPtr expr;               ///< Condition / expression / return value.
+  ExprPtr expr2;              ///< For: step expression.
+  StmtPtr init_stmt;          ///< For: init (Decl or ExprStmt).
+  std::vector<StmtPtr> body;  ///< Block statements or then/else/loop bodies.
+
+  // Decl payload:
+  VarSym* sym = nullptr;          ///< Resolved symbol (sema-owned).
+  std::string decl_name;
+  ir::Type decl_type = ir::Type::I32;
+  bool decl_is_array = false;
+  std::int32_t decl_array_size = 0;
+  ExprPtr decl_init;
+};
+
+/// Top-level function definition.
+struct FunctionDecl {
+  std::string name;
+  SourceLoc loc;
+  ir::Type return_type = ir::Type::Void;
+  std::vector<std::pair<std::string, ir::Type>> params;
+  StmtPtr body;  ///< Block.
+
+  std::vector<VarSym*> param_syms;  ///< Filled by sema.
+};
+
+/// Top-level global variable definition.
+struct GlobalDecl {
+  std::string name;
+  SourceLoc loc;
+  ir::Type type = ir::Type::I32;
+  bool is_array = false;
+  std::int32_t array_size = 0;
+  std::vector<ExprPtr> init;  ///< Scalar: one element; array: initializer list.
+
+  VarSym* sym = nullptr;  ///< Filled by sema.
+};
+
+/// A parsed translation unit.
+struct TranslationUnit {
+  std::vector<GlobalDecl> globals;
+  std::vector<FunctionDecl> functions;
+
+  /// Symbol storage (stable addresses for VarSym* references).
+  std::vector<std::unique_ptr<VarSym>> symbols;
+
+  VarSym* make_symbol() {
+    symbols.push_back(std::make_unique<VarSym>());
+    return symbols.back().get();
+  }
+};
+
+}  // namespace asipfb::fe

@@ -1,0 +1,21 @@
+#include "frontend/compile.hpp"
+
+#include "frontend/lower.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "ir/verifier.hpp"
+
+namespace asipfb::fe {
+
+ir::Module compile_benchc(std::string_view source, std::string module_name) {
+  DiagnosticEngine diags;
+  TranslationUnit unit = parse(source, diags);
+  diags.check();
+  const SemaResult sema = analyze(unit, diags);
+  diags.check();
+  ir::Module module = lower(unit, sema, std::move(module_name));
+  ir::verify_or_throw(module);
+  return module;
+}
+
+}  // namespace asipfb::fe

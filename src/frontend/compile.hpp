@@ -1,0 +1,17 @@
+// One-call BenchC -> IR compilation (parse + sema + lowering + verify).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ir/function.hpp"
+
+namespace asipfb::fe {
+
+/// Compiles BenchC source into a verified IR module.
+/// Throws CompileError on source problems and std::logic_error if the
+/// produced IR fails verification (a compiler bug, not a user error).
+[[nodiscard]] ir::Module compile_benchc(std::string_view source,
+                                        std::string module_name);
+
+}  // namespace asipfb::fe

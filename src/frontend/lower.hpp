@@ -1,0 +1,19 @@
+// Lowering of the checked BenchC AST to 3-address IR.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "frontend/sema.hpp"
+#include "ir/function.hpp"
+
+namespace asipfb::fe {
+
+/// Lowers the unit to an IR module.  The unit must have been analyzed
+/// without errors.  Like the paper's modified-gcc front end the lowering is
+/// mostly literal 3-address translation; the single smart step is strength
+/// reduction of constant integer multiplies (powers of two and two-bit
+/// scaling constants), which is where the paper's add-shift-add address
+/// chains originate.
+[[nodiscard]] ir::Module lower(TranslationUnit& unit, const SemaResult& sema,
+                               std::string module_name);
+
+}  // namespace asipfb::fe

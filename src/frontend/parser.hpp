@@ -1,0 +1,14 @@
+// Recursive-descent parser for BenchC.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+
+namespace asipfb::fe {
+
+/// Parses a full translation unit.  Errors are reported to `diags`; the
+/// returned tree is usable only when `diags` has no errors.
+[[nodiscard]] TranslationUnit parse(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace asipfb::fe

@@ -1,0 +1,48 @@
+// Semantic analysis for BenchC: name resolution, type checking, implicit
+// conversion insertion, builtin binding, and constant evaluation of global
+// initializers.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "ir/opcode.hpp"
+
+namespace asipfb::fe {
+
+/// Signature of a user function, collected before bodies are checked so
+/// forward calls resolve.
+struct FunctionSig {
+  std::string name;
+  ir::Type return_type = ir::Type::Void;
+  std::vector<ir::Type> param_types;
+};
+
+/// Result of semantic analysis, consumed by the lowering phase.
+struct SemaResult {
+  std::vector<FunctionSig> functions;  ///< Parallel to TranslationUnit::functions.
+};
+
+/// Checks the unit in place (annotating Expr::type, Expr::sym, call targets,
+/// inserting Cast nodes).  Reports problems to `diags`.
+SemaResult analyze(TranslationUnit& unit, DiagnosticEngine& diags);
+
+/// Constant value produced by const_eval.
+struct ConstValue {
+  ir::Type type = ir::Type::I32;
+  double value = 0.0;  ///< Holds both int and float payloads exactly enough.
+
+  [[nodiscard]] std::int32_t as_i32() const { return static_cast<std::int32_t>(value); }
+  [[nodiscard]] float as_f32() const { return static_cast<float>(value); }
+};
+
+/// Evaluates a constant expression (literals, unary +/-, binary arithmetic
+/// of constants, casts).  Returns nullopt when not constant.
+[[nodiscard]] std::optional<ConstValue> const_eval(const Expr& expr);
+
+/// Maps a BenchC builtin call name to an intrinsic, or None.
+[[nodiscard]] ir::IntrinsicKind builtin_intrinsic(const std::string& name);
+
+}  // namespace asipfb::fe

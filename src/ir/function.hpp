@@ -1,0 +1,102 @@
+// Functions and basic blocks of the 3-address IR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/instr.hpp"
+#include "ir/type.hpp"
+
+namespace asipfb::ir {
+
+/// A straight-line run of instructions ending in a terminator.
+struct BasicBlock {
+  std::string name;           ///< Label for printing ("entry", "L3", ...).
+  std::vector<Instr> instrs;  ///< Last instruction is the terminator.
+
+  /// Control-flow successors derived from the terminator (empty for Ret).
+  [[nodiscard]] std::vector<BlockId> successors() const;
+
+  [[nodiscard]] const Instr& terminator() const { return instrs.back(); }
+  [[nodiscard]] Instr& terminator() { return instrs.back(); }
+
+  /// Dynamic execution count of the block (count of its terminator; all
+  /// instructions of an unoptimized block share one count).
+  [[nodiscard]] std::uint64_t exec_count() const {
+    return instrs.empty() ? 0 : instrs.back().exec_count;
+  }
+};
+
+/// A function: parameters, register type table, and a CFG of basic blocks.
+/// Block 0 is the entry block.
+struct Function {
+  std::string name;
+  Type return_type = Type::Void;
+  std::vector<Reg> params;          ///< Parameter registers, in order.
+  std::vector<Type> reg_types;      ///< Indexed by Reg::id.
+  std::vector<BasicBlock> blocks;   ///< blocks[0] is the entry.
+  std::uint32_t frame_words = 0;    ///< Local array storage, in 32-bit words.
+  InstrId next_instr_id = 0;        ///< Id allocator for new instructions.
+
+  /// Allocates a fresh virtual register of the given type.
+  Reg new_reg(Type t) {
+    reg_types.push_back(t);
+    return Reg{static_cast<std::uint32_t>(reg_types.size() - 1)};
+  }
+
+  [[nodiscard]] Type type_of(Reg r) const { return reg_types.at(r.id); }
+
+  /// Appends a new empty block and returns its id.
+  BlockId add_block(std::string label) {
+    blocks.push_back(BasicBlock{std::move(label), {}});
+    return static_cast<BlockId>(blocks.size() - 1);
+  }
+
+  /// Assigns a fresh unique id (and matching origin) to an instruction.
+  void assign_id(Instr& instr) {
+    instr.id = next_instr_id++;
+    if (instr.origin == kNoInstr) instr.origin = instr.id;
+  }
+
+  /// Total dynamic operation count across all blocks (profile must be set).
+  [[nodiscard]] std::uint64_t total_dynamic_ops() const;
+
+  /// Number of static instructions.
+  [[nodiscard]] std::size_t instr_count() const;
+};
+
+/// A named global array in the flat data memory.
+struct GlobalArray {
+  std::string name;
+  Type elem_type = Type::I32;
+  std::uint32_t size = 0;          ///< Element count (one word each).
+  std::uint32_t base_address = 0;  ///< Assigned at module layout time.
+  std::vector<std::uint32_t> init; ///< Raw 32-bit initial words (may be empty).
+};
+
+/// A whole program: globals plus functions.  Function 0 by convention is not
+/// special; lookup by name finds the entry ("main").
+struct Module {
+  std::string name;
+  std::vector<GlobalArray> globals;
+  std::vector<Function> functions;
+
+  /// Index of the named function, or kNoFunc.
+  [[nodiscard]] FuncId find_function(std::string_view fn_name) const;
+
+  /// Index of the named global, or -1.
+  [[nodiscard]] int find_global(std::string_view global_name) const;
+
+  /// Lays out globals in memory starting at address 0 and returns the total
+  /// number of words used (start of the local-frame region).
+  std::uint32_t layout_globals();
+
+  /// Sum of total_dynamic_ops over all functions.
+  [[nodiscard]] std::uint64_t total_dynamic_ops() const;
+
+  /// Sum of static instruction counts over all functions.
+  [[nodiscard]] std::size_t instr_count() const;
+};
+
+}  // namespace asipfb::ir

@@ -1,0 +1,123 @@
+#include "ir/instr.hpp"
+
+namespace asipfb::ir::make {
+
+Instr binary(Opcode op, Reg dst, Reg lhs, Reg rhs) {
+  Instr i;
+  i.op = op;
+  i.dst = dst;
+  i.args = {lhs, rhs};
+  return i;
+}
+
+Instr unary(Opcode op, Reg dst, Reg src) {
+  Instr i;
+  i.op = op;
+  i.dst = dst;
+  i.args = {src};
+  return i;
+}
+
+Instr movi(Reg dst, std::int32_t value) {
+  Instr i;
+  i.op = Opcode::MovI;
+  i.dst = dst;
+  i.imm_i = value;
+  return i;
+}
+
+Instr movf(Reg dst, float value) {
+  Instr i;
+  i.op = Opcode::MovF;
+  i.dst = dst;
+  i.imm_f = value;
+  return i;
+}
+
+Instr copy(Reg dst, Reg src) {
+  Instr i;
+  i.op = Opcode::Copy;
+  i.dst = dst;
+  i.args = {src};
+  return i;
+}
+
+Instr addr_global(Reg dst, std::int32_t global_index) {
+  Instr i;
+  i.op = Opcode::AddrGlobal;
+  i.dst = dst;
+  i.imm_i = global_index;
+  return i;
+}
+
+Instr addr_local(Reg dst, std::int32_t frame_offset) {
+  Instr i;
+  i.op = Opcode::AddrLocal;
+  i.dst = dst;
+  i.imm_i = frame_offset;
+  return i;
+}
+
+Instr load(Opcode op, Reg dst, Reg addr) {
+  Instr i;
+  i.op = op;
+  i.dst = dst;
+  i.args = {addr};
+  return i;
+}
+
+Instr store(Opcode op, Reg addr, Reg value) {
+  Instr i;
+  i.op = op;
+  i.args = {addr, value};
+  return i;
+}
+
+Instr intrin(IntrinsicKind kind, Reg dst, std::vector<Reg> args) {
+  Instr i;
+  i.op = Opcode::Intrin;
+  i.dst = dst;
+  i.intrinsic = kind;
+  i.args = std::move(args);
+  return i;
+}
+
+Instr br(BlockId target) {
+  Instr i;
+  i.op = Opcode::Br;
+  i.target0 = target;
+  return i;
+}
+
+Instr cond_br(Reg cond, BlockId if_true, BlockId if_false) {
+  Instr i;
+  i.op = Opcode::CondBr;
+  i.args = {cond};
+  i.target0 = if_true;
+  i.target1 = if_false;
+  return i;
+}
+
+Instr ret() {
+  Instr i;
+  i.op = Opcode::Ret;
+  return i;
+}
+
+Instr ret_value(Reg value) {
+  Instr i;
+  i.op = Opcode::Ret;
+  i.args = {value};
+  return i;
+}
+
+Instr call(std::optional<Reg> dst, FuncId callee, std::vector<Reg> args) {
+  Instr i;
+  i.op = Opcode::Call;
+  i.dst = dst;
+  i.callee = callee;
+  i.args = std::move(args);
+  return i;
+}
+
+}  // namespace asipfb::ir::make

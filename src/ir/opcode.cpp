@@ -1,0 +1,104 @@
+#include "ir/opcode.hpp"
+
+#include <array>
+
+namespace asipfb::ir {
+
+namespace {
+
+using CC = ChainClass;
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> kOpcodeTable = {{
+    // name        args result term  sidefx trap  chain class
+    {"add",        2,   true,  false, false, false, CC::Add},        // Add
+    {"sub",        2,   true,  false, false, false, CC::Subtract},   // Sub
+    {"mul",        2,   true,  false, false, false, CC::Multiply},   // Mul
+    {"div",        2,   true,  false, false, true,  CC::Divide},     // Div
+    {"rem",        2,   true,  false, false, true,  CC::Divide},     // Rem
+    {"neg",        1,   true,  false, false, false, CC::Subtract},   // Neg
+    {"shl",        2,   true,  false, false, false, CC::Shift},      // Shl
+    {"shr",        2,   true,  false, false, false, CC::Shift},      // Shr
+    {"and",        2,   true,  false, false, false, CC::Logic},      // And
+    {"or",         2,   true,  false, false, false, CC::Logic},      // Or
+    {"xor",        2,   true,  false, false, false, CC::Logic},      // Xor
+    {"not",        1,   true,  false, false, false, CC::Logic},      // Not
+    {"fadd",       2,   true,  false, false, false, CC::FAdd},       // FAdd
+    {"fsub",       2,   true,  false, false, false, CC::FSub},       // FSub
+    {"fmul",       2,   true,  false, false, false, CC::FMultiply},  // FMul
+    {"fdiv",       2,   true,  false, false, false, CC::FDivide},    // FDiv
+    {"fneg",       1,   true,  false, false, false, CC::FSub},       // FNeg
+    {"cmpeq",      2,   true,  false, false, false, CC::Compare},    // CmpEq
+    {"cmpne",      2,   true,  false, false, false, CC::Compare},    // CmpNe
+    {"cmplt",      2,   true,  false, false, false, CC::Compare},    // CmpLt
+    {"cmple",      2,   true,  false, false, false, CC::Compare},    // CmpLe
+    {"cmpgt",      2,   true,  false, false, false, CC::Compare},    // CmpGt
+    {"cmpge",      2,   true,  false, false, false, CC::Compare},    // CmpGe
+    {"fcmpeq",     2,   true,  false, false, false, CC::FCompare},   // FCmpEq
+    {"fcmpne",     2,   true,  false, false, false, CC::FCompare},   // FCmpNe
+    {"fcmplt",     2,   true,  false, false, false, CC::FCompare},   // FCmpLt
+    {"fcmple",     2,   true,  false, false, false, CC::FCompare},   // FCmpLe
+    {"fcmpgt",     2,   true,  false, false, false, CC::FCompare},   // FCmpGt
+    {"fcmpge",     2,   true,  false, false, false, CC::FCompare},   // FCmpGe
+    {"itof",       1,   true,  false, false, false, CC::None},       // IntToFp
+    {"ftoi",       1,   true,  false, false, false, CC::None},       // FpToInt
+    {"movi",       0,   true,  false, false, false, CC::None},       // MovI
+    {"movf",       0,   true,  false, false, false, CC::None},       // MovF
+    {"copy",       1,   true,  false, false, false, CC::None},       // Copy
+    {"addr_global",0,   true,  false, false, false, CC::None},       // AddrGlobal
+    {"addr_local", 0,   true,  false, false, false, CC::None},       // AddrLocal
+    {"load",       1,   true,  false, false, true,  CC::Load},       // Load
+    {"store",      2,   false, false, true,  true,  CC::Store},      // Store
+    {"fload",      1,   true,  false, false, true,  CC::FLoad},      // FLoad
+    {"fstore",     2,   false, false, true,  true,  CC::FStore},     // FStore
+    {"intrin",     -1,  true,  false, false, false, CC::None},       // Intrin
+    {"br",         0,   false, true,  true,  false, CC::None},       // Br
+    {"condbr",     1,   false, true,  true,  false, CC::None},       // CondBr
+    {"ret",        -1,  false, true,  true,  false, CC::None},       // Ret
+    {"call",       -1,  false, false, true,  true,  CC::None},       // Call
+}};
+
+}  // namespace
+
+const OpcodeInfo& info(Opcode op) {
+  return kOpcodeTable[static_cast<int>(op)];
+}
+
+std::string_view to_string(ChainClass c) {
+  switch (c) {
+    case ChainClass::Add: return "add";
+    case ChainClass::Subtract: return "subtract";
+    case ChainClass::Multiply: return "multiply";
+    case ChainClass::Divide: return "divide";
+    case ChainClass::Shift: return "shift";
+    case ChainClass::Logic: return "logic";
+    case ChainClass::Compare: return "compare";
+    case ChainClass::Load: return "load";
+    case ChainClass::Store: return "store";
+    case ChainClass::FAdd: return "fadd";
+    case ChainClass::FSub: return "fsub";
+    case ChainClass::FMultiply: return "fmultiply";
+    case ChainClass::FDivide: return "fdivide";
+    case ChainClass::FCompare: return "fcompare";
+    case ChainClass::FLoad: return "fload";
+    case ChainClass::FStore: return "fstore";
+    case ChainClass::None: return "none";
+  }
+  return "?";
+}
+
+std::string_view to_string(IntrinsicKind k) {
+  switch (k) {
+    case IntrinsicKind::None: return "none";
+    case IntrinsicKind::Sin: return "sin";
+    case IntrinsicKind::Cos: return "cos";
+    case IntrinsicKind::Sqrt: return "sqrt";
+    case IntrinsicKind::FAbs: return "fabs";
+    case IntrinsicKind::IAbs: return "iabs";
+    case IntrinsicKind::Exp: return "exp";
+    case IntrinsicKind::Log: return "log";
+    case IntrinsicKind::Floor: return "floor";
+  }
+  return "?";
+}
+
+}  // namespace asipfb::ir

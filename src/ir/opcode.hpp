@@ -1,0 +1,89 @@
+// Opcodes of the 3-address IR and their static traits.
+//
+// The trait table also defines each opcode's *chain operator class* — the
+// alphabet the paper's sequence analysis reports ("multiply-add",
+// "fload-fmultiply", "add-shift-add", ...).  Opcodes with class None never
+// participate in chainable sequences (constants, copies, control flow).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace asipfb::ir {
+
+enum class Opcode : std::uint8_t {
+  // Integer arithmetic / logic.
+  Add, Sub, Mul, Div, Rem, Neg,
+  Shl, Shr,
+  And, Or, Xor, Not,
+  // Float arithmetic.
+  FAdd, FSub, FMul, FDiv, FNeg,
+  // Integer comparisons (produce i32 0/1).
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  // Float comparisons (produce i32 0/1).
+  FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+  // Conversions.
+  IntToFp, FpToInt,
+  // Constant materialization and copies.
+  MovI, MovF, Copy,
+  // Address formation (word-addressed flat memory).
+  AddrGlobal, AddrLocal,
+  // Memory access.
+  Load, Store, FLoad, FStore,
+  // Math intrinsics (sin/cos/sqrt/...), evaluated by the simulator.
+  Intrin,
+  // Control flow.
+  Br, CondBr, Ret, Call,
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::Call) + 1;
+
+/// Chain operator classes — the sequence alphabet of the paper.
+enum class ChainClass : std::uint8_t {
+  Add, Subtract, Multiply, Divide, Shift, Logic, Compare,
+  Load, Store,
+  FAdd, FSub, FMultiply, FDivide, FCompare, FLoad, FStore,
+  None,  ///< Not eligible for chaining.
+};
+
+/// Math intrinsics the BenchC front end recognizes as builtins.
+enum class IntrinsicKind : std::uint8_t {
+  None, Sin, Cos, Sqrt, FAbs, IAbs, Exp, Log, Floor,
+};
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  std::string_view name;    ///< Mnemonic used by the printer.
+  int num_args;             ///< Register operand count; -1 = variable (Call).
+  bool has_result;          ///< Defines a destination register.
+  bool is_terminator;       ///< Must be the last instruction of a block.
+  bool has_side_effects;    ///< Writes memory / transfers control / calls.
+  bool can_trap;            ///< May fault (division, memory access).
+  ChainClass chain_class;   ///< Sequence-alphabet class (None = unchainable).
+};
+
+/// Trait lookup; total over all opcodes.
+[[nodiscard]] const OpcodeInfo& info(Opcode op);
+
+[[nodiscard]] inline std::string_view to_string(Opcode op) {
+  return info(op).name;
+}
+
+/// Paper-style lower-case name of a chain class ("multiply", "fload", ...).
+[[nodiscard]] std::string_view to_string(ChainClass c);
+
+[[nodiscard]] std::string_view to_string(IntrinsicKind k);
+
+/// True for opcodes that may be hoisted above a conditional branch:
+/// pure, non-trapping value computations.
+[[nodiscard]] inline bool speculable(Opcode op) {
+  const auto& i = info(op);
+  return i.has_result && !i.has_side_effects && !i.can_trap;
+}
+
+/// True if the opcode is eligible to appear inside a chained sequence.
+[[nodiscard]] inline bool chainable(Opcode op) {
+  return info(op).chain_class != ChainClass::None;
+}
+
+}  // namespace asipfb::ir

@@ -1,0 +1,129 @@
+#include "ir/printer.hpp"
+
+#include <cstdio>
+
+namespace asipfb::ir {
+
+namespace {
+
+std::string reg_name(Reg r) { return "r" + std::to_string(r.id); }
+
+std::string block_name(const Function* fn, BlockId id) {
+  if (fn != nullptr && id < fn->blocks.size() && !fn->blocks[id].name.empty()) {
+    return fn->blocks[id].name;
+  }
+  return "bb" + std::to_string(id);
+}
+
+std::string float_literal(float v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", static_cast<double>(v));
+  return buf;
+}
+
+std::string instr_text(const Instr& instr, const Function* fn, const Module* module) {
+  std::string out;
+  if (instr.dst) {
+    out += reg_name(*instr.dst);
+    out += " = ";
+  }
+  out += std::string(to_string(instr.op));
+
+  switch (instr.op) {
+    case Opcode::MovI:
+      out += " " + std::to_string(instr.imm_i);
+      return out;
+    case Opcode::MovF:
+      out += " " + float_literal(instr.imm_f);
+      return out;
+    case Opcode::AddrGlobal:
+      if (module != nullptr &&
+          instr.imm_i >= 0 &&
+          static_cast<std::size_t>(instr.imm_i) < module->globals.size()) {
+        out += " @" + module->globals[static_cast<std::size_t>(instr.imm_i)].name;
+      } else {
+        out += " @g" + std::to_string(instr.imm_i);
+      }
+      return out;
+    case Opcode::AddrLocal:
+      out += " frame+" + std::to_string(instr.imm_i);
+      return out;
+    case Opcode::Intrin:
+      out += " ";
+      out += std::string(to_string(instr.intrinsic));
+      break;
+    case Opcode::Call:
+      if (module != nullptr && instr.callee < module->functions.size()) {
+        out += " @" + module->functions[instr.callee].name;
+      } else {
+        out += " @f" + std::to_string(instr.callee);
+      }
+      break;
+    case Opcode::Br:
+      out += " " + block_name(fn, instr.target0);
+      return out;
+    case Opcode::CondBr:
+      out += " " + (instr.args.empty() ? std::string("<noarg>") : reg_name(instr.args[0])) +
+             ", " + block_name(fn, instr.target0) + ", " + block_name(fn, instr.target1);
+      return out;
+    default:
+      break;
+  }
+
+  for (std::size_t i = 0; i < instr.args.size(); ++i) {
+    out += i == 0 && instr.op != Opcode::Intrin && instr.op != Opcode::Call ? " " : ", ";
+    if ((instr.op == Opcode::Intrin || instr.op == Opcode::Call) && i == 0) out += "(";
+    out += reg_name(instr.args[i]);
+  }
+  if ((instr.op == Opcode::Intrin || instr.op == Opcode::Call)) {
+    out += instr.args.empty() ? "()" : ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const Instr& instr, const Module* module) {
+  return instr_text(instr, nullptr, module);
+}
+
+std::string to_string(const Function& fn, const Module* module, bool with_counts) {
+  std::string out = "func " + fn.name + "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += reg_name(fn.params[i]);
+    out += ": ";
+    out += std::string(to_string(fn.type_of(fn.params[i])));
+  }
+  out += ") -> ";
+  out += std::string(to_string(fn.return_type));
+  out += " {\n";
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const auto& block = fn.blocks[b];
+    out += block.name.empty() ? "bb" + std::to_string(b) : block.name;
+    out += ":\n";
+    for (const auto& instr : block.instrs) {
+      out += "  " + instr_text(instr, &fn, module);
+      if (with_counts) {
+        out += "    ; x" + std::to_string(instr.exec_count);
+      }
+      out += "\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_string(const Module& module, bool with_counts) {
+  std::string out = "module " + module.name + "\n";
+  for (const auto& g : module.globals) {
+    out += "global " + g.name + ": " + std::string(to_string(g.elem_type)) + "[" +
+           std::to_string(g.size) + "] @" + std::to_string(g.base_address) + "\n";
+  }
+  for (const auto& fn : module.functions) {
+    out += "\n" + to_string(fn, &module, with_counts);
+  }
+  return out;
+}
+
+}  // namespace asipfb::ir

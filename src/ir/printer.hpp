@@ -1,0 +1,20 @@
+// Human-readable IR dumps (debugging, golden tests, example output).
+#pragma once
+
+#include <string>
+
+#include "ir/function.hpp"
+
+namespace asipfb::ir {
+
+/// "r7" / profile-annotated operands etc. for one instruction.
+[[nodiscard]] std::string to_string(const Instr& instr, const Module* module = nullptr);
+
+/// Full function listing with block labels and optional exec counts.
+[[nodiscard]] std::string to_string(const Function& fn, const Module* module = nullptr,
+                                    bool with_counts = false);
+
+/// Whole-module listing.
+[[nodiscard]] std::string to_string(const Module& module, bool with_counts = false);
+
+}  // namespace asipfb::ir

@@ -1,0 +1,27 @@
+// Value types of the 3-address IR.
+//
+// The 1995 flow compiles C DSP kernels; two machine types suffice:
+// 32-bit integers (also used for addresses and booleans) and 32-bit floats.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace asipfb::ir {
+
+enum class Type : std::uint8_t {
+  I32,   ///< 32-bit signed integer; also addresses and compare results.
+  F32,   ///< 32-bit IEEE float.
+  Void,  ///< Absence of a value (function returns only).
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Type t) {
+  switch (t) {
+    case Type::I32: return "i32";
+    case Type::F32: return "f32";
+    case Type::Void: return "void";
+  }
+  return "?";
+}
+
+}  // namespace asipfb::ir

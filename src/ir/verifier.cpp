@@ -1,0 +1,392 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "ir/printer.hpp"
+
+namespace asipfb::ir {
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Module& module, const Function& fn,
+                   std::vector<std::string>& errors)
+      : module_(module), fn_(fn), errors_(errors) {}
+
+  void run() {
+    check_params();
+    check_structure();
+    if (!errors_.empty()) return;  // Structure errors make later checks noisy.
+    check_instructions();
+    check_definite_assignment();
+  }
+
+private:
+  void error(std::string message) {
+    errors_.push_back("function '" + fn_.name + "': " + std::move(message));
+  }
+
+  void error_at(const Instr& instr, std::string message) {
+    error(std::move(message) + " in '" + to_string(instr, &module_) + "'");
+  }
+
+  [[nodiscard]] bool reg_ok(Reg r) const { return r.id < fn_.reg_types.size(); }
+
+  void check_params() {
+    for (Reg p : fn_.params) {
+      if (!reg_ok(p)) error("parameter register out of range");
+    }
+  }
+
+  void check_structure() {
+    if (fn_.blocks.empty()) {
+      error("no blocks");
+      return;
+    }
+    std::set<InstrId> seen_ids;
+    for (std::size_t b = 0; b < fn_.blocks.size(); ++b) {
+      const auto& block = fn_.blocks[b];
+      if (block.instrs.empty()) {
+        error("block " + std::to_string(b) + " is empty");
+        continue;
+      }
+      for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+        const Instr& instr = block.instrs[i];
+        const bool last = i + 1 == block.instrs.size();
+        if (instr.is_terminator() != last) {
+          error("block " + std::to_string(b) +
+                (last ? " does not end with a terminator"
+                      : " has a terminator mid-block"));
+        }
+        if (instr.id == kNoInstr || !seen_ids.insert(instr.id).second) {
+          error("duplicate or unassigned instruction id in block " +
+                std::to_string(b));
+        }
+      }
+      for (BlockId s : block.successors()) {
+        if (s >= fn_.blocks.size()) {
+          error("block " + std::to_string(b) + " branches out of range");
+        }
+      }
+    }
+  }
+
+  void expect_type(const Instr& instr, Reg r, Type t, const char* role) {
+    if (!reg_ok(r)) {
+      error_at(instr, std::string(role) + " register out of range");
+      return;
+    }
+    if (fn_.type_of(r) != t) {
+      error_at(instr, std::string(role) + " expected " +
+                          std::string(to_string(t)) + ", got " +
+                          std::string(to_string(fn_.type_of(r))));
+    }
+  }
+
+  void expect_args(const Instr& instr, std::size_t n) {
+    if (instr.args.size() != n) {
+      error_at(instr, "expected " + std::to_string(n) + " operands, got " +
+                          std::to_string(instr.args.size()));
+    }
+  }
+
+  void expect_dst(const Instr& instr, Type t) {
+    if (!instr.dst) {
+      error_at(instr, "missing destination");
+      return;
+    }
+    expect_type(instr, *instr.dst, t, "destination");
+  }
+
+  void expect_no_dst(const Instr& instr) {
+    if (instr.dst) error_at(instr, "unexpected destination");
+  }
+
+  void check_instructions() {
+    for (const auto& block : fn_.blocks) {
+      for (const auto& instr : block.instrs) check_instr(instr);
+    }
+  }
+
+  void check_instr(const Instr& instr) {
+    using enum Opcode;
+    switch (instr.op) {
+      // Integer binary.
+      case Add: case Sub: case Mul: case Div: case Rem:
+      case Shl: case Shr: case And: case Or: case Xor:
+        expect_args(instr, 2);
+        if (instr.args.size() == 2) {
+          expect_type(instr, instr.args[0], Type::I32, "lhs");
+          expect_type(instr, instr.args[1], Type::I32, "rhs");
+        }
+        expect_dst(instr, Type::I32);
+        break;
+      case Neg: case Not:
+        expect_args(instr, 1);
+        if (!instr.args.empty()) expect_type(instr, instr.args[0], Type::I32, "src");
+        expect_dst(instr, Type::I32);
+        break;
+      // Float binary / unary.
+      case FAdd: case FSub: case FMul: case FDiv:
+        expect_args(instr, 2);
+        if (instr.args.size() == 2) {
+          expect_type(instr, instr.args[0], Type::F32, "lhs");
+          expect_type(instr, instr.args[1], Type::F32, "rhs");
+        }
+        expect_dst(instr, Type::F32);
+        break;
+      case FNeg:
+        expect_args(instr, 1);
+        if (!instr.args.empty()) expect_type(instr, instr.args[0], Type::F32, "src");
+        expect_dst(instr, Type::F32);
+        break;
+      // Comparisons.
+      case CmpEq: case CmpNe: case CmpLt: case CmpLe: case CmpGt: case CmpGe:
+        expect_args(instr, 2);
+        if (instr.args.size() == 2) {
+          expect_type(instr, instr.args[0], Type::I32, "lhs");
+          expect_type(instr, instr.args[1], Type::I32, "rhs");
+        }
+        expect_dst(instr, Type::I32);
+        break;
+      case FCmpEq: case FCmpNe: case FCmpLt: case FCmpLe: case FCmpGt: case FCmpGe:
+        expect_args(instr, 2);
+        if (instr.args.size() == 2) {
+          expect_type(instr, instr.args[0], Type::F32, "lhs");
+          expect_type(instr, instr.args[1], Type::F32, "rhs");
+        }
+        expect_dst(instr, Type::I32);
+        break;
+      // Conversions.
+      case IntToFp:
+        expect_args(instr, 1);
+        if (!instr.args.empty()) expect_type(instr, instr.args[0], Type::I32, "src");
+        expect_dst(instr, Type::F32);
+        break;
+      case FpToInt:
+        expect_args(instr, 1);
+        if (!instr.args.empty()) expect_type(instr, instr.args[0], Type::F32, "src");
+        expect_dst(instr, Type::I32);
+        break;
+      // Constants, copies, addresses.
+      case MovI:
+        expect_args(instr, 0);
+        expect_dst(instr, Type::I32);
+        break;
+      case MovF:
+        expect_args(instr, 0);
+        expect_dst(instr, Type::F32);
+        break;
+      case Copy:
+        expect_args(instr, 1);
+        if (!instr.args.empty() && instr.dst && reg_ok(instr.args[0]) &&
+            reg_ok(*instr.dst) &&
+            fn_.type_of(instr.args[0]) != fn_.type_of(*instr.dst)) {
+          error_at(instr, "copy between mismatched types");
+        }
+        break;
+      case AddrGlobal:
+        expect_args(instr, 0);
+        expect_dst(instr, Type::I32);
+        if (instr.imm_i < 0 ||
+            static_cast<std::size_t>(instr.imm_i) >= module_.globals.size()) {
+          error_at(instr, "global index out of range");
+        }
+        break;
+      case AddrLocal:
+        expect_args(instr, 0);
+        expect_dst(instr, Type::I32);
+        if (instr.imm_i < 0 ||
+            static_cast<std::uint32_t>(instr.imm_i) >= std::max(1u, fn_.frame_words)) {
+          error_at(instr, "frame offset out of range");
+        }
+        break;
+      // Memory.
+      case Load:
+        expect_args(instr, 1);
+        if (!instr.args.empty()) expect_type(instr, instr.args[0], Type::I32, "address");
+        expect_dst(instr, Type::I32);
+        break;
+      case FLoad:
+        expect_args(instr, 1);
+        if (!instr.args.empty()) expect_type(instr, instr.args[0], Type::I32, "address");
+        expect_dst(instr, Type::F32);
+        break;
+      case Store:
+        expect_args(instr, 2);
+        if (instr.args.size() == 2) {
+          expect_type(instr, instr.args[0], Type::I32, "address");
+          expect_type(instr, instr.args[1], Type::I32, "value");
+        }
+        expect_no_dst(instr);
+        break;
+      case FStore:
+        expect_args(instr, 2);
+        if (instr.args.size() == 2) {
+          expect_type(instr, instr.args[0], Type::I32, "address");
+          expect_type(instr, instr.args[1], Type::F32, "value");
+        }
+        expect_no_dst(instr);
+        break;
+      // Intrinsics.
+      case Intrin: {
+        expect_args(instr, 1);
+        if (instr.intrinsic == IntrinsicKind::None) {
+          error_at(instr, "intrinsic kind not set");
+          break;
+        }
+        const bool integer = instr.intrinsic == IntrinsicKind::IAbs;
+        if (!instr.args.empty()) {
+          expect_type(instr, instr.args[0], integer ? Type::I32 : Type::F32, "arg");
+        }
+        expect_dst(instr, integer ? Type::I32 : Type::F32);
+        break;
+      }
+      // Control.
+      case Br:
+        expect_args(instr, 0);
+        expect_no_dst(instr);
+        break;
+      case CondBr:
+        expect_args(instr, 1);
+        if (!instr.args.empty()) expect_type(instr, instr.args[0], Type::I32, "condition");
+        expect_no_dst(instr);
+        break;
+      case Ret:
+        expect_no_dst(instr);
+        if (fn_.return_type == Type::Void) {
+          expect_args(instr, 0);
+        } else {
+          expect_args(instr, 1);
+          if (!instr.args.empty()) {
+            expect_type(instr, instr.args[0], fn_.return_type, "return value");
+          }
+        }
+        break;
+      case Call: {
+        if (instr.callee >= module_.functions.size()) {
+          error_at(instr, "callee out of range");
+          break;
+        }
+        const Function& callee = module_.functions[instr.callee];
+        if (instr.args.size() != callee.params.size()) {
+          error_at(instr, "call argument count mismatch");
+          break;
+        }
+        for (std::size_t i = 0; i < instr.args.size(); ++i) {
+          expect_type(instr, instr.args[i], callee.type_of(callee.params[i]),
+                      "call argument");
+        }
+        if (instr.dst) {
+          if (callee.return_type == Type::Void) {
+            error_at(instr, "capturing result of void call");
+          } else {
+            expect_type(instr, *instr.dst, callee.return_type, "call result");
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Forward dataflow: the set of registers definitely assigned on entry to
+  // each block is the intersection over predecessors of (entry + defs).
+  // Any use outside the definitely-assigned set is reported.
+  void check_definite_assignment() {
+    const std::size_t nregs = fn_.reg_types.size();
+    const std::size_t nblocks = fn_.blocks.size();
+    std::vector<std::vector<bool>> in(nblocks, std::vector<bool>(nregs, true));
+    std::vector<bool> entry_in(nregs, false);
+    for (Reg p : fn_.params) {
+      if (reg_ok(p)) entry_in[p.id] = true;
+    }
+    in[0] = entry_in;
+
+    std::vector<std::vector<BlockId>> preds(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      for (BlockId s : fn_.blocks[b].successors()) {
+        preds[s].push_back(static_cast<BlockId>(b));
+      }
+    }
+
+    auto block_out = [&](std::size_t b, const std::vector<bool>& block_in) {
+      std::vector<bool> out = block_in;
+      for (const auto& instr : fn_.blocks[b].instrs) {
+        if (instr.dst && reg_ok(*instr.dst)) out[instr.dst->id] = true;
+      }
+      return out;
+    };
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        std::vector<bool> new_in;
+        if (b == 0) {
+          // First execution enters with only parameters defined, regardless
+          // of any back edges into the entry block.
+          new_in = entry_in;
+        } else if (preds[b].empty()) {
+          // Unreachable block: nothing guaranteed; use entry facts so we do
+          // not emit spurious errors for dead code.
+          new_in = entry_in;
+        } else {
+          new_in.assign(nregs, true);
+          for (BlockId p : preds[b]) {
+            const auto out = block_out(p, in[p]);
+            for (std::size_t r = 0; r < nregs; ++r) {
+              new_in[r] = new_in[r] && out[r];
+            }
+          }
+        }
+        if (new_in != in[b]) {
+          in[b] = std::move(new_in);
+          changed = true;
+        }
+      }
+    }
+
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      std::vector<bool> defined = in[b];
+      for (const auto& instr : fn_.blocks[b].instrs) {
+        for (Reg a : instr.args) {
+          if (reg_ok(a) && !defined[a.id]) {
+            error_at(instr, "use of possibly-undefined register r" +
+                                std::to_string(a.id));
+            defined[a.id] = true;  // Report each register once per block.
+          }
+        }
+        if (instr.dst && reg_ok(*instr.dst)) defined[instr.dst->id] = true;
+      }
+    }
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  std::vector<std::string>& errors_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Module& module) {
+  std::vector<std::string> errors;
+  for (const auto& fn : module.functions) {
+    FunctionVerifier(module, fn, errors).run();
+  }
+  return errors;
+}
+
+void verify_or_throw(const Module& module) {
+  const auto errors = verify(module);
+  if (errors.empty()) return;
+  std::string message = "IR verification failed for module '" + module.name + "':";
+  for (const auto& e : errors) {
+    message += "\n  " + e;
+  }
+  throw std::logic_error(message);
+}
+
+}  // namespace asipfb::ir

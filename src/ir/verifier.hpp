@@ -1,0 +1,24 @@
+// Structural, type, and definite-assignment checking of IR modules.
+//
+// The verifier runs after lowering and after every optimization pass in
+// tests, so transformation bugs surface as verifier failures rather than as
+// silent miscompiles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace asipfb::ir {
+
+/// Returns a list of human-readable problems (empty = module is well-formed).
+/// Checks: block/terminator structure, branch targets, operand arity and
+/// types per opcode, call signatures, global references, unique instruction
+/// ids, and definite assignment of every used register along all CFG paths.
+[[nodiscard]] std::vector<std::string> verify(const Module& module);
+
+/// Throws std::logic_error listing all problems if verification fails.
+void verify_or_throw(const Module& module);
+
+}  // namespace asipfb::ir

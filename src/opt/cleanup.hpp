@@ -1,0 +1,32 @@
+// Canonicalization passes run on freshly lowered IR (all optimization
+// levels see the same cleaned baseline, like gcc's local optimizations in
+// the paper's step 1): local value numbering / CSE, dead code elimination,
+// and CFG simplification.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace asipfb::opt {
+
+/// Local (per-block) value numbering: CSE of pure computations, copy
+/// canonicalization.  Returns the number of instructions rewritten to copies.
+int local_value_numbering(ir::Function& fn);
+
+/// Removes pure instructions whose results are never read (whole-function
+/// usage counting, iterated to fixpoint).  Returns instructions removed.
+int dead_code_elimination(ir::Function& fn);
+
+/// Removes unreachable blocks, forwards branches through trivial
+/// (branch-only) blocks, and merges single-successor/single-predecessor
+/// block chains.  Returns the number of blocks eliminated.
+int simplify_cfg(ir::Function& fn);
+
+/// Keeps only blocks marked in `keep` (entry must be kept), remapping all
+/// branch targets.  Exposed for use by other passes.
+void compact_blocks(ir::Function& fn, const std::vector<bool>& keep);
+
+/// Full canonicalization of a module: LVN + DCE + CFG simplification per
+/// function, iterated until stable.
+void canonicalize(ir::Module& module);
+
+}  // namespace asipfb::opt

@@ -1,0 +1,26 @@
+// Instruction-level-parallelism characterization (the paper's section 8
+// future work: feedback on multiple-issue architectures).
+//
+// Each block is list-scheduled onto a W-issue VLIW: true dependences
+// serialize (+1 cycle), output dependences serialize, anti-dependences allow
+// same-cycle issue (reads before writes), stores/calls are memory barriers,
+// and the terminator issues last.  Weighting schedule lengths by block
+// execution counts gives the suite's achievable ops/cycle at width W.
+#pragma once
+
+#include <cstdint>
+
+#include "ir/function.hpp"
+
+namespace asipfb::opt {
+
+struct IlpResult {
+  std::uint64_t dynamic_ops = 0;     ///< Profiled operation count.
+  std::uint64_t dynamic_cycles = 0;  ///< Weighted schedule cycles.
+  double ops_per_cycle = 0.0;
+};
+
+/// Measures achievable ILP of a profiled module at the given issue width.
+[[nodiscard]] IlpResult measure_ilp(const ir::Module& module, int issue_width);
+
+}  // namespace asipfb::opt

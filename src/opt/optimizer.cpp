@@ -1,0 +1,43 @@
+#include "opt/optimizer.hpp"
+
+#include "opt/cleanup.hpp"
+#include "opt/rename.hpp"
+
+namespace asipfb::opt {
+
+std::string_view to_string(OptLevel level) {
+  switch (level) {
+    case OptLevel::O0: return "O0";
+    case OptLevel::O1: return "O1";
+    case OptLevel::O2: return "O2";
+  }
+  return "?";
+}
+
+OptimizeStats optimize(ir::Module& module, OptLevel level,
+                       const OptimizeOptions& options) {
+  OptimizeStats stats;
+  if (level == OptLevel::O0) return stats;
+
+  PercolationOptions percolation = options.percolation;
+  // Renaming historically let move-op hoist operations individually; without
+  // it the scheduler keeps dependence chains together (see percolate.hpp).
+  percolation.chain_preserving = level == OptLevel::O1;
+
+  for (auto& fn : module.functions) {
+    stats.loops_unrolled += unroll_loops(fn, options.unroll);
+    if (level == OptLevel::O2) {
+      stats.repair_copies += rename_registers(fn);
+    }
+    const PercolationStats p = percolate(fn, percolation);
+    stats.percolation.blocks_merged += p.blocks_merged;
+    stats.percolation.ops_hoisted += p.ops_hoisted;
+    stats.percolation.passes += p.passes;
+    if (options.final_dce) {
+      stats.dce_removed += dead_code_elimination(fn);
+    }
+  }
+  return stats;
+}
+
+}  // namespace asipfb::opt

@@ -1,0 +1,41 @@
+// The paper's three optimization levels (section 5, step 3):
+//   O0 — no optimization,
+//   O1 — loop pipelining + percolation scheduling, without renaming,
+//   O2 — loop pipelining + percolation scheduling + register renaming.
+//
+// All levels operate on a canonicalized, *profiled* module: execution counts
+// ride along through every transformation (unrolling splits them; motion
+// keeps them), so the downstream sequence analysis can weight occurrences
+// without re-simulation.
+#pragma once
+
+#include <string_view>
+
+#include "ir/function.hpp"
+#include "opt/percolate.hpp"
+#include "opt/unroll.hpp"
+
+namespace asipfb::opt {
+
+enum class OptLevel { O0, O1, O2 };
+
+[[nodiscard]] std::string_view to_string(OptLevel level);
+
+struct OptimizeOptions {
+  UnrollOptions unroll;
+  PercolationOptions percolation;
+  bool final_dce = true;  ///< Drop dead repair copies / unused temporaries.
+};
+
+struct OptimizeStats {
+  int loops_unrolled = 0;
+  int repair_copies = 0;  ///< Copies inserted by renaming (O2 only).
+  PercolationStats percolation;
+  int dce_removed = 0;
+};
+
+/// Applies `level` to the whole module in place.
+OptimizeStats optimize(ir::Module& module, OptLevel level,
+                       const OptimizeOptions& options = {});
+
+}  // namespace asipfb::opt

@@ -1,0 +1,52 @@
+#include "opt/rename.hpp"
+
+#include <map>
+
+#include "analysis/liveness.hpp"
+
+namespace asipfb::opt {
+
+using ir::Instr;
+using ir::Reg;
+
+int rename_registers(ir::Function& fn) {
+  const analysis::Liveness liveness(fn);
+  int copies = 0;
+
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    auto& block = fn.blocks[b];
+    std::map<std::uint32_t, Reg> current;  // Original reg -> latest name.
+
+    for (auto& instr : block.instrs) {
+      for (auto& arg : instr.args) {
+        const auto it = current.find(arg.id);
+        if (it != current.end()) arg = it->second;
+      }
+      if (instr.dst && !instr.is_terminator()) {
+        const Reg original = *instr.dst;
+        const Reg fresh = fn.new_reg(fn.type_of(original));
+        current[original.id] = fresh;
+        instr.dst = fresh;
+      }
+    }
+
+    // Repair copies restore live-out originals before the terminator.
+    const std::uint64_t block_count = block.exec_count();
+    std::vector<Instr> repairs;
+    for (const auto& [orig_id, fresh] : current) {
+      const Reg original{orig_id};
+      if (!liveness.live_out(static_cast<ir::BlockId>(b), original)) continue;
+      Instr copy = ir::make::copy(original, fresh);
+      copy.exec_count = block_count;
+      fn.assign_id(copy);
+      repairs.push_back(std::move(copy));
+      ++copies;
+    }
+    block.instrs.insert(block.instrs.end() - 1,
+                        std::make_move_iterator(repairs.begin()),
+                        std::make_move_iterator(repairs.end()));
+  }
+  return copies;
+}
+
+}  // namespace asipfb::opt

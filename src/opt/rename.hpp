@@ -1,0 +1,21 @@
+// Block-local maximal register renaming (the paper's optimization level 3
+// ingredient).
+//
+// Every definition inside a block gets a fresh register; subsequent uses in
+// the block follow the new name, and copies back to the original registers
+// are inserted at the block exit for live-out values.  Renaming removes
+// intra-block anti- and output-dependences so percolation can move
+// operations much higher — but cross-block consumers now read the repair
+// copy instead of the producer, which is precisely the paper's observation
+// that renaming *erodes* chainable sequences while helping parallelism.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace asipfb::opt {
+
+/// Renames all block-local definitions; returns the number of repair copies
+/// inserted.
+int rename_registers(ir::Function& fn);
+
+}  // namespace asipfb::opt

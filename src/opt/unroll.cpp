@@ -1,0 +1,118 @@
+#include "opt/unroll.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/loops.hpp"
+
+namespace asipfb::opt {
+
+using ir::BlockId;
+using ir::Instr;
+
+namespace {
+
+/// Replicates one loop. `blocks` is the natural-loop block set.
+void replicate_loop(ir::Function& fn, const analysis::NaturalLoop& loop, int factor) {
+  const std::set<BlockId> members(loop.blocks.begin(), loop.blocks.end());
+  const BlockId header = loop.header;
+
+  // Split profile counts: each of the `factor` copies carries 1/factor of
+  // the original count; the original keeps the remainder so totals match.
+  std::map<BlockId, std::vector<std::uint64_t>> copy_counts;
+  for (BlockId b : loop.blocks) {
+    auto& counts = copy_counts[b];
+    for (auto& instr : fn.blocks[b].instrs) {
+      const std::uint64_t share = instr.exec_count / static_cast<std::uint64_t>(factor);
+      counts.push_back(share);
+      instr.exec_count -= share * static_cast<std::uint64_t>(factor - 1);
+    }
+  }
+
+  // Create block shells for each copy first so targets can be remapped.
+  std::vector<std::map<BlockId, BlockId>> maps(static_cast<std::size_t>(factor - 1));
+  for (int k = 0; k < factor - 1; ++k) {
+    for (BlockId b : loop.blocks) {
+      const std::string name = fn.blocks[b].name + ".u" + std::to_string(k + 1);
+      maps[static_cast<std::size_t>(k)][b] = fn.add_block(name);
+    }
+  }
+
+  // Fill the copies.
+  for (int k = 0; k < factor - 1; ++k) {
+    const auto& map = maps[static_cast<std::size_t>(k)];
+    for (BlockId b : loop.blocks) {
+      const auto& counts = copy_counts[b];
+      auto& dst = fn.blocks[map.at(b)];
+      for (std::size_t i = 0; i < fn.blocks[b].instrs.size(); ++i) {
+        Instr instr = fn.blocks[b].instrs[i];  // Copy (same registers).
+        instr.exec_count = counts[i];
+        const ir::InstrId origin = instr.origin;
+        instr.id = ir::kNoInstr;
+        fn.assign_id(instr);
+        instr.origin = origin;
+        // Remap in-loop targets; `header` is special: it is only reachable
+        // from inside the loop via the back edge, which must thread to the
+        // next copy (or back to the original for the last copy).
+        auto remap = [&](BlockId target) -> BlockId {
+          if (target == ir::kNoBlock) return target;
+          if (target == header) {
+            if (k + 1 < factor - 1) {
+              return maps[static_cast<std::size_t>(k + 1)].at(header);
+            }
+            return header;
+          }
+          const auto found = map.find(target);
+          return found != map.end() ? found->second : target;
+        };
+        instr.target0 = remap(instr.target0);
+        instr.target1 = remap(instr.target1);
+        dst.instrs.push_back(std::move(instr));
+      }
+    }
+  }
+
+  // Redirect the original loop's back edges into the first copy.
+  const BlockId first_copy_header = maps[0].at(header);
+  for (BlockId b : loop.blocks) {
+    auto& term = fn.blocks[b].terminator();
+    if (term.target0 == header) term.target0 = first_copy_header;
+    if (term.target1 == header) term.target1 = first_copy_header;
+  }
+}
+
+}  // namespace
+
+int unroll_loops(ir::Function& fn, const UnrollOptions& options) {
+  if (options.factor < 2) return 0;
+  const auto loops = analysis::find_loops(fn);
+
+  // Innermost = contains no other loop's header.
+  auto innermost = [&](const analysis::NaturalLoop& loop) {
+    for (const auto& other : loops) {
+      if (other.header != loop.header && loop.contains(other.header)) return false;
+    }
+    return true;
+  };
+
+  std::set<BlockId> used;
+  int unrolled = 0;
+  for (const auto& loop : loops) {
+    if (!innermost(loop)) continue;
+    std::size_t size = 0;
+    for (BlockId b : loop.blocks) size += fn.blocks[b].instrs.size();
+    if (size > options.max_loop_instrs) continue;
+    bool overlaps = false;
+    for (BlockId b : loop.blocks) {
+      if (used.count(b) != 0) overlaps = true;
+    }
+    if (overlaps) continue;
+    for (BlockId b : loop.blocks) used.insert(b);
+    replicate_loop(fn, loop, options.factor);
+    ++unrolled;
+  }
+  return unrolled;
+}
+
+}  // namespace asipfb::opt

@@ -1,0 +1,100 @@
+#include "pipeline/driver.hpp"
+
+#include "frontend/compile.hpp"
+#include "ir/verifier.hpp"
+#include "opt/cleanup.hpp"
+
+namespace asipfb::pipeline {
+
+ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
+                        const std::vector<std::string>& output_globals,
+                        bool profile) {
+  sim::Machine machine(module);
+  for (const auto& [name, values] : input.float_inputs) {
+    machine.write_global(name, values);
+  }
+  for (const auto& [name, values] : input.int_inputs) {
+    machine.write_global(name, values);
+  }
+  sim::SimOptions options;
+  options.profile = profile;
+  if (profile) sim::clear_profile(module);
+  const sim::SimResult run = machine.run(options);
+
+  ExecutionResult result;
+  result.exit_code = run.exit_code;
+  result.steps = run.steps;
+  result.cycles = run.cycles;
+  result.oob_loads = run.oob_loads;
+  for (const auto& name : output_globals) {
+    result.outputs[name] = machine.read_global_i32(name);
+  }
+  return result;
+}
+
+PreparedProgram prepare(std::string_view source, std::string name,
+                        const WorkloadInput& input) {
+  return prepare_multi(source, std::move(name), {input});
+}
+
+PreparedProgram prepare_multi(std::string_view source, std::string name,
+                              const std::vector<WorkloadInput>& inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("prepare_multi needs at least one data set");
+  }
+  PreparedProgram prepared;
+  prepared.module = fe::compile_benchc(source, std::move(name));
+  if (prepared.module.find_function("main") == ir::kNoFunc) {
+    throw std::invalid_argument("program has no main function");
+  }
+  opt::canonicalize(prepared.module);
+  ir::verify_or_throw(prepared.module);
+  sim::clear_profile(prepared.module);
+  for (const auto& input : inputs) {
+    // Profile WITHOUT clearing between data sets: counts accumulate.
+    sim::Machine machine(prepared.module);
+    for (const auto& [g, values] : input.float_inputs) machine.write_global(g, values);
+    for (const auto& [g, values] : input.int_inputs) machine.write_global(g, values);
+    sim::SimOptions options;
+    options.profile = true;
+    const sim::SimResult run = machine.run(options);
+    prepared.baseline_run.exit_code = run.exit_code;
+    prepared.baseline_run.steps = run.steps;
+    prepared.baseline_run.cycles = run.cycles;
+    prepared.baseline_run.oob_loads = run.oob_loads;
+  }
+  prepared.total_cycles = prepared.module.total_dynamic_ops();
+  return prepared;
+}
+
+ir::Module optimized_variant(const PreparedProgram& prepared, opt::OptLevel level,
+                             const opt::OptimizeOptions& options) {
+  ir::Module variant = prepared.module;  // Value copy, profile included.
+  opt::optimize(variant, level, options);
+  ir::verify_or_throw(variant);
+  return variant;
+}
+
+chain::DetectionResult analyze_level(const PreparedProgram& prepared,
+                                     opt::OptLevel level,
+                                     const chain::DetectorOptions& detector,
+                                     const opt::OptimizeOptions& options) {
+  const ir::Module variant = optimized_variant(prepared, level, options);
+  chain::DetectorOptions opts = detector;
+  // Without the parallelizing scheduler (O0) only textually adjacent
+  // operations can be fused; see DetectorOptions::require_adjacency.
+  if (level == opt::OptLevel::O0) opts.require_adjacency = true;
+  return chain::detect_sequences(variant, opts, prepared.total_cycles);
+}
+
+chain::CoverageResult coverage_at_level(const PreparedProgram& prepared,
+                                        opt::OptLevel level,
+                                        const chain::CoverageOptions& coverage,
+                                        const opt::OptimizeOptions& options) {
+  const ir::Module variant = optimized_variant(prepared, level, options);
+  chain::CoverageOptions opts = coverage;
+  if (level == opt::OptLevel::O0) opts.require_adjacency = true;
+  return chain::coverage_analysis(variant, opts, prepared.total_cycles);
+}
+
+}  // namespace asipfb::pipeline

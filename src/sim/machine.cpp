@@ -1,0 +1,263 @@
+#include "sim/machine.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace asipfb::sim {
+
+namespace {
+
+std::int32_t as_i32(std::uint32_t bits) { return static_cast<std::int32_t>(bits); }
+std::uint32_t from_i32(std::int32_t v) { return static_cast<std::uint32_t>(v); }
+
+float as_f32(std::uint32_t bits) {
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof f);
+  return f;
+}
+
+std::uint32_t from_f32(float f) {
+  std::uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof u);
+  return u;
+}
+
+/// Truncating float->int conversion with defined out-of-range behaviour.
+std::int32_t fp_to_int(float f) {
+  if (std::isnan(f) || f >= 2147483648.0f || f < -2147483648.0f) return 0;
+  return static_cast<std::int32_t>(f);
+}
+
+}  // namespace
+
+Machine::Machine(ir::Module& module, std::uint32_t frame_region_words)
+    : module_(module) {
+  globals_end_ = module_.layout_globals();
+  memory_.assign(static_cast<std::size_t>(globals_end_) + frame_region_words, 0);
+  reset_memory();
+}
+
+void Machine::reset_memory() {
+  std::fill(memory_.begin(), memory_.end(), 0);
+  for (const auto& g : module_.globals) {
+    for (std::size_t i = 0; i < g.init.size() && i < g.size; ++i) {
+      memory_[g.base_address + i] = g.init[i];
+    }
+  }
+  stack_pointer_ = globals_end_;
+}
+
+const ir::GlobalArray& Machine::global_by_name(std::string_view name) const {
+  const int index = module_.find_global(name);
+  if (index < 0) throw SimError("no such global: " + std::string(name));
+  return module_.globals[static_cast<std::size_t>(index)];
+}
+
+void Machine::write_global(std::string_view name, std::span<const std::int32_t> values) {
+  const auto& g = global_by_name(name);
+  if (values.size() > g.size) throw SimError("global too small: " + std::string(name));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    memory_[g.base_address + i] = from_i32(values[i]);
+  }
+}
+
+void Machine::write_global(std::string_view name, std::span<const float> values) {
+  const auto& g = global_by_name(name);
+  if (values.size() > g.size) throw SimError("global too small: " + std::string(name));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    memory_[g.base_address + i] = from_f32(values[i]);
+  }
+}
+
+std::vector<std::int32_t> Machine::read_global_i32(std::string_view name) const {
+  const auto& g = global_by_name(name);
+  std::vector<std::int32_t> out(g.size);
+  for (std::size_t i = 0; i < g.size; ++i) out[i] = as_i32(memory_[g.base_address + i]);
+  return out;
+}
+
+std::vector<float> Machine::read_global_f32(std::string_view name) const {
+  const auto& g = global_by_name(name);
+  std::vector<float> out(g.size);
+  for (std::size_t i = 0; i < g.size; ++i) out[i] = as_f32(memory_[g.base_address + i]);
+  return out;
+}
+
+SimResult Machine::run(const SimOptions& options, std::string_view entry) {
+  const ir::FuncId fid = module_.find_function(entry);
+  if (fid == ir::kNoFunc) throw SimError("no entry function: " + std::string(entry));
+  SimResult result;
+  options_ = &options;
+  result_ = &result;
+  stack_pointer_ = globals_end_;
+  const std::uint32_t value = call_function(fid, {}, 0);
+  result.exit_code = as_i32(value);
+  options_ = nullptr;
+  result_ = nullptr;
+  return result;
+}
+
+std::uint32_t Machine::call_function(ir::FuncId callee,
+                                     const std::vector<std::uint32_t>& args, int depth) {
+  if (depth > options_->max_call_depth) throw SimError("call depth exceeded");
+  ir::Function& fn = module_.functions[callee];
+  if (args.size() != fn.params.size()) throw SimError("argument count mismatch");
+
+  std::vector<std::uint32_t> regs(fn.reg_types.size(), 0);
+  for (std::size_t i = 0; i < args.size(); ++i) regs[fn.params[i].id] = args[i];
+
+  const std::uint32_t frame_base = stack_pointer_;
+  if (static_cast<std::size_t>(frame_base) + fn.frame_words > memory_.size()) {
+    throw SimError("frame stack overflow in " + fn.name);
+  }
+  stack_pointer_ += fn.frame_words;
+
+  auto load_word = [&](std::uint32_t addr) -> std::uint32_t {
+    if (addr >= memory_.size()) {
+      ++result_->oob_loads;
+      return 0;  // Speculative-load semantics.
+    }
+    return memory_[addr];
+  };
+  auto store_word = [&](std::uint32_t addr, std::uint32_t value) {
+    if (addr >= memory_.size()) {
+      throw SimError("out-of-bounds store in " + fn.name + " at address " +
+                     std::to_string(addr));
+    }
+    memory_[addr] = value;
+  };
+
+  ir::BlockId block = 0;
+  std::size_t ip = 0;
+  for (;;) {
+    ir::Instr& instr = fn.blocks[block].instrs[ip];
+    if (options_->profile) ++instr.exec_count;
+    if (!instr.fused_follower) ++result_->cycles;
+    if (++result_->steps > options_->max_steps) throw SimError("step limit exceeded");
+
+    auto arg = [&](std::size_t i) { return regs[instr.args[i].id]; };
+    auto set_dst = [&](std::uint32_t value) { regs[instr.dst->id] = value; };
+
+    using enum ir::Opcode;
+    switch (instr.op) {
+      case Add: set_dst(arg(0) + arg(1)); break;
+      case Sub: set_dst(arg(0) - arg(1)); break;
+      case Mul: set_dst(arg(0) * arg(1)); break;
+      case Div: {
+        const std::int64_t a = as_i32(arg(0));
+        const std::int64_t b = as_i32(arg(1));
+        if (b == 0) throw SimError("division by zero in " + fn.name);
+        set_dst(from_i32(static_cast<std::int32_t>(a / b)));
+        break;
+      }
+      case Rem: {
+        const std::int64_t a = as_i32(arg(0));
+        const std::int64_t b = as_i32(arg(1));
+        if (b == 0) throw SimError("remainder by zero in " + fn.name);
+        set_dst(from_i32(static_cast<std::int32_t>(a % b)));
+        break;
+      }
+      case Neg: set_dst(0u - arg(0)); break;
+      case Shl: set_dst(arg(0) << (arg(1) & 31u)); break;
+      case Shr:  // Arithmetic shift, matching C compilers on signed int.
+        set_dst(from_i32(as_i32(arg(0)) >> (arg(1) & 31u)));
+        break;
+      case And: set_dst(arg(0) & arg(1)); break;
+      case Or: set_dst(arg(0) | arg(1)); break;
+      case Xor: set_dst(arg(0) ^ arg(1)); break;
+      case Not: set_dst(~arg(0)); break;
+      case FAdd: set_dst(from_f32(as_f32(arg(0)) + as_f32(arg(1)))); break;
+      case FSub: set_dst(from_f32(as_f32(arg(0)) - as_f32(arg(1)))); break;
+      case FMul: set_dst(from_f32(as_f32(arg(0)) * as_f32(arg(1)))); break;
+      case FDiv: set_dst(from_f32(as_f32(arg(0)) / as_f32(arg(1)))); break;
+      case FNeg: set_dst(from_f32(-as_f32(arg(0)))); break;
+      case CmpEq: set_dst(as_i32(arg(0)) == as_i32(arg(1)) ? 1 : 0); break;
+      case CmpNe: set_dst(as_i32(arg(0)) != as_i32(arg(1)) ? 1 : 0); break;
+      case CmpLt: set_dst(as_i32(arg(0)) < as_i32(arg(1)) ? 1 : 0); break;
+      case CmpLe: set_dst(as_i32(arg(0)) <= as_i32(arg(1)) ? 1 : 0); break;
+      case CmpGt: set_dst(as_i32(arg(0)) > as_i32(arg(1)) ? 1 : 0); break;
+      case CmpGe: set_dst(as_i32(arg(0)) >= as_i32(arg(1)) ? 1 : 0); break;
+      case FCmpEq: set_dst(as_f32(arg(0)) == as_f32(arg(1)) ? 1 : 0); break;
+      case FCmpNe: set_dst(as_f32(arg(0)) != as_f32(arg(1)) ? 1 : 0); break;
+      case FCmpLt: set_dst(as_f32(arg(0)) < as_f32(arg(1)) ? 1 : 0); break;
+      case FCmpLe: set_dst(as_f32(arg(0)) <= as_f32(arg(1)) ? 1 : 0); break;
+      case FCmpGt: set_dst(as_f32(arg(0)) > as_f32(arg(1)) ? 1 : 0); break;
+      case FCmpGe: set_dst(as_f32(arg(0)) >= as_f32(arg(1)) ? 1 : 0); break;
+      case IntToFp: set_dst(from_f32(static_cast<float>(as_i32(arg(0))))); break;
+      case FpToInt: set_dst(from_i32(fp_to_int(as_f32(arg(0))))); break;
+      case MovI: set_dst(from_i32(instr.imm_i)); break;
+      case MovF: set_dst(from_f32(instr.imm_f)); break;
+      case Copy: set_dst(arg(0)); break;
+      case AddrGlobal:
+        set_dst(module_.globals[static_cast<std::size_t>(instr.imm_i)].base_address);
+        break;
+      case AddrLocal:
+        set_dst(frame_base + static_cast<std::uint32_t>(instr.imm_i));
+        break;
+      case Load:
+      case FLoad:
+        set_dst(load_word(arg(0)));
+        break;
+      case Store:
+      case FStore:
+        store_word(arg(0), arg(1));
+        break;
+      case Intrin: {
+        using enum ir::IntrinsicKind;
+        const float x = instr.intrinsic == IAbs ? 0.0f : as_f32(arg(0));
+        switch (instr.intrinsic) {
+          case Sin: set_dst(from_f32(std::sin(x))); break;
+          case Cos: set_dst(from_f32(std::cos(x))); break;
+          case Sqrt: set_dst(from_f32(std::sqrt(x))); break;
+          case FAbs: set_dst(from_f32(std::fabs(x))); break;
+          case IAbs: set_dst(from_i32(std::abs(as_i32(arg(0))))); break;
+          case Exp: set_dst(from_f32(std::exp(x))); break;
+          case Log: set_dst(from_f32(std::log(x))); break;
+          case Floor: set_dst(from_f32(std::floor(x))); break;
+          case None: throw SimError("malformed intrinsic");
+        }
+        break;
+      }
+      case Br:
+        block = instr.target0;
+        ip = 0;
+        continue;
+      case CondBr:
+        block = arg(0) != 0 ? instr.target0 : instr.target1;
+        ip = 0;
+        continue;
+      case Ret: {
+        stack_pointer_ = frame_base;
+        return instr.args.empty() ? 0 : arg(0);
+      }
+      case Call: {
+        std::vector<std::uint32_t> call_args;
+        call_args.reserve(instr.args.size());
+        for (ir::Reg r : instr.args) call_args.push_back(regs[r.id]);
+        const std::uint32_t value = call_function(instr.callee, call_args, depth + 1);
+        if (instr.dst) set_dst(value);
+        break;
+      }
+    }
+    ++ip;
+  }
+}
+
+void clear_profile(ir::Module& module) {
+  for (auto& fn : module.functions) {
+    for (auto& block : fn.blocks) {
+      for (auto& instr : block.instrs) instr.exec_count = 0;
+    }
+  }
+}
+
+SimResult profile_run(ir::Module& module) {
+  Machine machine(module);
+  SimOptions options;
+  options.profile = true;
+  clear_profile(module);
+  return machine.run(options);
+}
+
+}  // namespace asipfb::sim

@@ -1,0 +1,86 @@
+// IR interpreter and profiler (the paper's step-2 simulator).
+//
+// Executes a module's `main` over a flat word-addressed memory, optionally
+// annotating every instruction with its dynamic execution count.  Loads use
+// speculative semantics (out-of-bounds reads return 0 and are counted)
+// because percolation scheduling may legally hoist loads above their guard
+// branches; stores are always checked and fault on out-of-bounds addresses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace asipfb::sim {
+
+/// Thrown on machine faults (OOB store, division by zero, step overrun...).
+class SimError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SimOptions {
+  std::uint64_t max_steps = 2'000'000'000;  ///< Fault when exceeded.
+  int max_call_depth = 256;                 ///< Fault when exceeded.
+  bool profile = false;                     ///< Bump Instr::exec_count.
+};
+
+struct SimResult {
+  std::int32_t exit_code = 0;        ///< Return value of main.
+  std::uint64_t steps = 0;           ///< Dynamic operation count.
+  std::uint64_t cycles = 0;          ///< Steps minus fused followers — what a
+                                     ///< chained-instruction ASIP would take.
+  std::uint64_t oob_loads = 0;       ///< Speculative loads that missed memory.
+};
+
+/// One simulation instance bound to a module.  Write input globals, run,
+/// then read output globals.
+class Machine {
+public:
+  /// `module` must outlive the machine; with SimOptions::profile the run
+  /// mutates the module's exec_count annotations.
+  explicit Machine(ir::Module& module, std::uint32_t frame_region_words = 1u << 20);
+
+  /// Copies values into a named global (must exist, sizes must fit).
+  void write_global(std::string_view name, std::span<const std::int32_t> values);
+  void write_global(std::string_view name, std::span<const float> values);
+
+  /// Reads a global's current contents.
+  [[nodiscard]] std::vector<std::int32_t> read_global_i32(std::string_view name) const;
+  [[nodiscard]] std::vector<float> read_global_f32(std::string_view name) const;
+
+  /// Resets memory to the module's initial image (globals re-initialized,
+  /// frames cleared).
+  void reset_memory();
+
+  /// Runs the entry function (default "main", no arguments).
+  SimResult run(const SimOptions& options = {}, std::string_view entry = "main");
+
+private:
+  struct Frame;
+
+  [[nodiscard]] const ir::GlobalArray& global_by_name(std::string_view name) const;
+  std::uint32_t call_function(ir::FuncId callee, const std::vector<std::uint32_t>& args,
+                              int depth);
+
+  ir::Module& module_;
+  std::vector<std::uint32_t> memory_;
+  std::uint32_t globals_end_ = 0;
+  std::uint32_t stack_pointer_ = 0;
+  const SimOptions* options_ = nullptr;
+  SimResult* result_ = nullptr;
+};
+
+/// Zeroes all exec_count annotations in the module.
+void clear_profile(ir::Module& module);
+
+/// Compiles nothing — convenience: runs a profiled simulation and returns
+/// both the result and the module's total dynamic op count.
+SimResult profile_run(ir::Module& module);
+
+}  // namespace asipfb::sim

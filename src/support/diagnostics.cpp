@@ -1,0 +1,14 @@
+#include "support/diagnostics.hpp"
+
+namespace asipfb {
+
+std::string CompileError::render(const std::vector<Diagnostic>& diags) {
+  std::string out = "BenchC compilation failed:";
+  for (const auto& d : diags) {
+    out += "\n  ";
+    out += d.to_string();
+  }
+  return out;
+}
+
+}  // namespace asipfb

@@ -1,0 +1,69 @@
+// Source locations and diagnostics for the BenchC front end.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace asipfb {
+
+/// 1-based line/column position inside a BenchC source buffer.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// A single diagnostic message attached to a source position.
+struct Diagnostic {
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return loc.to_string() + ": " + message;
+  }
+};
+
+/// Thrown when compilation cannot continue; carries all collected
+/// diagnostics so callers can render them.
+class CompileError : public std::runtime_error {
+public:
+  explicit CompileError(std::vector<Diagnostic> diags)
+      : std::runtime_error(render(diags)), diagnostics_(std::move(diags)) {}
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+private:
+  static std::string render(const std::vector<Diagnostic>& diags);
+
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// Collects diagnostics during a front-end phase; throws CompileError on
+/// request when any error was reported.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc loc, std::string message) {
+    diagnostics_.push_back({loc, std::move(message)});
+  }
+
+  [[nodiscard]] bool has_errors() const { return !diagnostics_.empty(); }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// Throws CompileError if any error has been reported.
+  void check() const {
+    if (has_errors()) throw CompileError(diagnostics_);
+  }
+
+private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace asipfb

@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for workload data.
+//
+// All experiment inputs (paper Table 1: random float arrays, random integer
+// streams, 8-bit images) are produced from this generator so every run of the
+// suite sees byte-identical data.  We deliberately avoid <random> engines
+// whose streams may differ across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace asipfb {
+
+/// xorshift64* generator: tiny, fast, and fully specified so results are
+/// reproducible across platforms and standard libraries.
+class Rng {
+public:
+  /// Seeds must be non-zero; a zero seed is remapped to a fixed constant.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed == 0 ? 0x9e3779b97f4a7c15ull : seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform in [0, bound) for bound >= 1.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound <= 1 ? 0 : next_u64() % bound;
+  }
+
+  /// Uniform signed integer in [lo, hi] inclusive.
+  std::int32_t next_int(std::int32_t lo, std::int32_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi) - lo + 1;
+    return lo + static_cast<std::int32_t>(next_below(span));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_unit_float() {
+    // 24 mantissa bits of entropy keep the value exactly representable.
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + (hi - lo) * next_unit_float();
+  }
+
+  /// Vector of uniform floats in [lo, hi).
+  std::vector<float> float_array(std::size_t n, float lo, float hi) {
+    std::vector<float> v(n);
+    for (auto& x : v) x = next_float(lo, hi);
+    return v;
+  }
+
+  /// Vector of uniform integers in [lo, hi].
+  std::vector<std::int32_t> int_array(std::size_t n, std::int32_t lo,
+                                      std::int32_t hi) {
+    std::vector<std::int32_t> v(n);
+    for (auto& x : v) x = next_int(lo, hi);
+    return v;
+  }
+
+  /// width*height 8-bit image stored as i32 pixels in [0, 255].
+  std::vector<std::int32_t> image8(std::size_t width, std::size_t height) {
+    return int_array(width * height, 0, 255);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace asipfb

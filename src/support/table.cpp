@@ -1,0 +1,70 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace asipfb {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw std::invalid_argument("TextTable: row wider than header");
+  }
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  out += '\n';
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_percent(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", value);
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace asipfb

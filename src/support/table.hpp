@@ -1,0 +1,36 @@
+// Plain-text table rendering used by the benchmark harness to print
+// paper-style tables (Table 1/2/3) and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asipfb {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+/// Numeric formatting is the caller's job; this class only lays out text.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; the row may be shorter than the header (missing cells
+  /// render empty) but must not be longer.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a percentage with two decimals, e.g. "8.33%".
+[[nodiscard]] std::string format_percent(double value);
+
+/// Formats a double with the given number of decimals.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+}  // namespace asipfb

@@ -1,0 +1,50 @@
+// bspline — cubic B-spline smoothing filter over an integer stream.
+// Paper Table 1: 30 lines, stream of 256 random integer values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* B-spline (FIR) smoothing filter: (x[n-1] + 4 x[n] + x[n+1]) / 6,
+   computed in fixed point as t * 43 >> 8 (43/256 ~ 1/5.95). */
+int x[256];
+int y[256];
+int checksum;
+
+int main() {
+  int n;
+  y[0] = x[0];
+  y[255] = x[255];
+  for (n = 1; n < 255; n++) {
+    int s = x[n - 1] + x[n + 1];
+    int t = s + (x[n] << 2);
+    y[n] = (t * 43) >> 8;
+  }
+
+  int acc = 0;
+  for (n = 0; n < 256; n++) {
+    acc += y[n];
+  }
+  checksum = acc;
+  return acc;
+}
+)";
+
+}  // namespace
+
+Workload make_bspline() {
+  Workload w;
+  w.name = "bspline";
+  w.description = "B Spline (FIR) filter";
+  w.data_description = "Stream of 256 random integer values";
+  w.source = kSource;
+  Rng rng(0x100b);
+  w.input.add("x", rng.int_array(256, -128, 127));
+  w.outputs = {"y", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

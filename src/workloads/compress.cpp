@@ -1,0 +1,144 @@
+// compress — 8x8 block DCT image compression at 4:1 (keep the 4x4
+// low-frequency coefficients), with reconstruction.
+// Paper Table 1: 190 lines, 24x24 8-bit image.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Discrete cosine transform compression (4:1) of a 24x24 8-bit image. */
+int img[576];
+int out[576];
+float blk[64];
+float coef[64];
+float ct[64];   /* ct[u*8+x] = cos((2x+1) u pi / 16) */
+int checksum;
+
+void load_block(int by, int bx) {
+  int r;
+  int c;
+  for (r = 0; r < 8; r++) {
+    for (c = 0; c < 8; c++) {
+      blk[r * 8 + c] = img[(by * 8 + r) * 24 + bx * 8 + c];
+    }
+  }
+}
+
+void forward_dct() {
+  int u;
+  int v;
+  int xx;
+  int yy;
+  for (u = 0; u < 8; u++) {
+    for (v = 0; v < 8; v++) {
+      float s = 0.0;
+      for (xx = 0; xx < 8; xx++) {
+        for (yy = 0; yy < 8; yy++) {
+          s += blk[xx * 8 + yy] * ct[u * 8 + xx] * ct[v * 8 + yy];
+        }
+      }
+      float su = 1.0;
+      float sv = 1.0;
+      if (u == 0) su = 0.70710678;
+      if (v == 0) sv = 0.70710678;
+      coef[u * 8 + v] = 0.25 * su * sv * s;
+    }
+  }
+}
+
+void quantize_4to1() {
+  int u;
+  int v;
+  for (u = 0; u < 8; u++) {
+    for (v = 0; v < 8; v++) {
+      if (u >= 4 || v >= 4) {
+        coef[u * 8 + v] = 0.0;
+      }
+    }
+  }
+}
+
+void inverse_dct() {
+  int u;
+  int v;
+  int xx;
+  int yy;
+  for (xx = 0; xx < 8; xx++) {
+    for (yy = 0; yy < 8; yy++) {
+      float s = 0.0;
+      for (u = 0; u < 8; u++) {
+        for (v = 0; v < 8; v++) {
+          float su = 1.0;
+          float sv = 1.0;
+          if (u == 0) su = 0.70710678;
+          if (v == 0) sv = 0.70710678;
+          s += su * sv * coef[u * 8 + v] * ct[u * 8 + xx] * ct[v * 8 + yy];
+        }
+      }
+      blk[xx * 8 + yy] = 0.25 * s;
+    }
+  }
+}
+
+void store_block(int by, int bx) {
+  int r;
+  int c;
+  for (r = 0; r < 8; r++) {
+    for (c = 0; c < 8; c++) {
+      float t = blk[r * 8 + c] + 0.5;
+      if (t < 0.0) t = 0.0;
+      if (t > 255.0) t = 255.0;
+      out[(by * 8 + r) * 24 + bx * 8 + c] = (int)t;
+    }
+  }
+}
+
+int main() {
+  int u;
+  int xx;
+  for (u = 0; u < 8; u++) {
+    for (xx = 0; xx < 8; xx++) {
+      ct[u * 8 + xx] = cosf(3.14159265 * (2 * xx + 1) * u / 16.0);
+    }
+  }
+
+  int by;
+  int bx;
+  for (by = 0; by < 3; by++) {
+    for (bx = 0; bx < 3; bx++) {
+      load_block(by, bx);
+      forward_dct();
+      quantize_4to1();
+      inverse_dct();
+      store_block(by, bx);
+    }
+  }
+
+  int s = 0;
+  int i;
+  for (i = 0; i < 576; i++) {
+    s += out[i];
+  }
+  checksum = s;
+  return s;
+}
+)";
+
+}  // namespace
+
+Workload make_compress() {
+  Workload w;
+  w.name = "compress";
+  w.description = "Discrete cosine transformation (4:1 comp)";
+  w.data_description = "24x24 8-bit image";
+  w.source = kSource;
+  Rng rng(0x1005);
+  w.input.add("img", rng.image8(24, 24));
+  w.outputs = {"out", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

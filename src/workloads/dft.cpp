@@ -1,0 +1,54 @@
+// dft — direct discrete Fourier transform of an integer stream.
+// Paper Table 1: 15 lines, stream of 256 random integer values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Discrete Fourier transform (direct form) of a 256-point integer stream. */
+int x[256];
+float xr[256];
+float xi[256];
+float checksum;
+
+int main() {
+  int k;
+  int n;
+  for (k = 0; k < 256; k++) {
+    float sr = 0.0;
+    float si = 0.0;
+    for (n = 0; n < 256; n++) {
+      float a = 0.0245436926 * (k * n);
+      sr += x[n] * cosf(a);
+      si -= x[n] * sinf(a);
+    }
+    xr[k] = sr;
+    xi[k] = si;
+  }
+  float s = 0.0;
+  for (k = 0; k < 256; k++) {
+    s += xr[k] * xr[k] + xi[k] * xi[k];
+  }
+  checksum = s;
+  return (int)(s * 0.000001);
+}
+)";
+
+}  // namespace
+
+Workload make_dft() {
+  Workload w;
+  w.name = "dft";
+  w.description = "Discrete fast fourier transform";
+  w.data_description = "Stream of 256 random integer values";
+  w.source = kSource;
+  Rng rng(0x100a);
+  w.input.add("x", rng.int_array(256, -128, 127));
+  w.outputs = {"xr", "xi", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

@@ -1,0 +1,89 @@
+// edge — edge detection by 2D convolution (Sobel pair + magnitude +
+// threshold).
+// Paper Table 1: 280 lines, 24x24 8-bit image.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Edge detection using two-dimensional convolution (Sobel operators). */
+int img[576];
+int gx[576];
+int gy[576];
+int out[576];
+int kx[9] = { -1, 0, 1, -2, 0, 2, -1, 0, 1 };
+int ky[9] = { -1, -2, -1, 0, 0, 0, 1, 2, 1 };
+int checksum;
+
+/* General 3x3 convolution over the interior; which selects the kernel
+   and the destination plane (0 -> kx/gx, 1 -> ky/gy). */
+void conv2d(int which) {
+  int r;
+  int c;
+  int dr;
+  int dc;
+  for (r = 1; r < 23; r++) {
+    for (c = 1; c < 23; c++) {
+      int acc = 0;
+      for (dr = -1; dr <= 1; dr++) {
+        for (dc = -1; dc <= 1; dc++) {
+          int w;
+          if (which == 0) {
+            w = kx[(dr + 1) * 3 + dc + 1];
+          } else {
+            w = ky[(dr + 1) * 3 + dc + 1];
+          }
+          acc += w * img[(r + dr) * 24 + c + dc];
+        }
+      }
+      if (which == 0) {
+        gx[r * 24 + c] = acc;
+      } else {
+        gy[r * 24 + c] = acc;
+      }
+    }
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 576; i++) {
+    gx[i] = 0;
+    gy[i] = 0;
+  }
+  conv2d(0);
+  conv2d(1);
+
+  int s = 0;
+  for (i = 0; i < 576; i++) {
+    int m = abs(gx[i]) + abs(gy[i]);
+    int e = 0;
+    if (m > 160) {
+      e = 255;
+    }
+    out[i] = e;
+    s += e;
+  }
+  checksum = s;
+  return s;
+}
+)";
+
+}  // namespace
+
+Workload make_edge() {
+  Workload w;
+  w.name = "edge";
+  w.description = "Edge detection using 2D convolution";
+  w.data_description = "24x24 8-bit image";
+  w.source = kSource;
+  Rng rng(0x1008);
+  w.input.add("img", rng.image8(24, 24));
+  w.outputs = {"out", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

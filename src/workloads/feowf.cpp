@@ -1,0 +1,68 @@
+// feowf — fifth-order elliptic wave filter over an integer stream.
+// Paper Table 1: 32 lines, stream of 256 random integer values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Fifth order elliptic wave filter (fixed-point adaptor network). */
+int x[256];
+int y[256];
+int s1;
+int s2;
+int s3;
+int s4;
+int s5;
+int checksum;
+
+int main() {
+  int n;
+  for (n = 0; n < 256; n++) {
+    int in = x[n];
+    int t1 = in + s1;
+    int t2 = (t1 * 7) >> 4;
+    int t3 = t2 + s2;
+    int t4 = (t3 * 11) >> 4;
+    int t5 = t4 + s3;
+    int t6 = t5 + t2;
+    int t7 = (t6 * 13) >> 5;
+    int t8 = t7 + s4;
+    int t9 = (t8 * 9) >> 4;
+    int t10 = t9 + s5;
+    if (t10 > 32767) t10 = 32767;
+    if (t10 < -32768) t10 = -32768;
+    s1 = t3 - t9;
+    s2 = t5;
+    s3 = t8 - t1;
+    s4 = t10 >> 1;
+    s5 = t7 + t4;
+    y[n] = t10;
+  }
+
+  int s = 0;
+  for (n = 0; n < 256; n++) {
+    s += y[n];
+  }
+  checksum = s;
+  return s;
+}
+)";
+
+}  // namespace
+
+Workload make_feowf() {
+  Workload w;
+  w.name = "feowf";
+  w.description = "Fifth order elliptic wave filter";
+  w.data_description = "Stream of 256 random integer values";
+  w.source = kSource;
+  Rng rng(0x100c);
+  w.input.add("x", rng.int_array(256, -128, 127));
+  w.outputs = {"y", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

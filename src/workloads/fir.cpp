@@ -1,0 +1,62 @@
+// fir — 35-point lowpass floating-point FIR filter (cutoff 0.2).
+// Paper Table 1: 85 lines, random array of 100 floating point values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* 35-point lowpass FIR filter, cutoff 0.2 (Hamming-windowed sinc). */
+float x[100];
+float y[100];
+float h[35] = {
+  0.000880, 0.001662, -0.000000, -0.003220, -0.002879,
+  0.004097, 0.009218, -0.000000, -0.016736, -0.013622,
+  0.017798, 0.037591, -0.000000, -0.066597, -0.058069,
+  0.090643, 0.300360, 0.400000, 0.300360, 0.090643,
+  -0.058069, -0.066597, -0.000000, 0.037591, 0.017798,
+  -0.013622, -0.016736, -0.000000, 0.009218, 0.004097,
+  -0.002879, -0.003220, -0.000000, 0.001662, 0.000880
+};
+float checksum;
+
+int main() {
+  int n;
+  int k;
+  for (n = 0; n < 100; n++) {
+    float acc = 0.0;
+    for (k = 0; k < 35; k++) {
+      int j = n - k;
+      if (j >= 0) {
+        acc += h[k] * x[j];
+      }
+    }
+    y[n] = acc;
+  }
+
+  float s = 0.0;
+  for (n = 0; n < 100; n++) {
+    s += y[n];
+  }
+  checksum = s;
+  return (int)(s * 1000.0);
+}
+)";
+
+}  // namespace
+
+Workload make_fir() {
+  Workload w;
+  w.name = "fir";
+  w.description = "35-point lowpass fp FIR filter (cutoff 0.2)";
+  w.data_description = "Random array of 100 floating point values";
+  w.source = kSource;
+  Rng rng(0x1001);
+  w.input.add("x", rng.float_array(100, -1.0f, 1.0f));
+  w.outputs = {"y", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

@@ -1,0 +1,90 @@
+// flatten — histogram flattening (gray-level modification / equalization).
+// Paper Table 1: 195 lines, 24x24 8-bit image.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Histogram flattening (gray level modification) of a 24x24 8-bit image. */
+int img[576];
+int out[576];
+int hist[256];
+int cdf[256];
+int map[256];
+int checksum;
+
+void build_histogram() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    hist[i] = 0;
+  }
+  for (i = 0; i < 576; i++) {
+    hist[img[i]]++;
+  }
+}
+
+void build_mapping() {
+  int i;
+  int cum = 0;
+  for (i = 0; i < 256; i++) {
+    cum += hist[i];
+    cdf[i] = cum;
+  }
+  /* Find the first non-zero CDF value (cdf_min). */
+  int cdf_min = 0;
+  for (i = 0; i < 256; i++) {
+    if (cdf[i] > 0) {
+      cdf_min = cdf[i];
+      break;
+    }
+  }
+  int denom = 576 - cdf_min;
+  if (denom < 1) denom = 1;
+  for (i = 0; i < 256; i++) {
+    int v = cdf[i] - cdf_min;
+    if (v < 0) v = 0;
+    map[i] = (v * 255) / denom;
+    if (map[i] > 255) map[i] = 255;
+  }
+}
+
+void apply_mapping() {
+  int i;
+  for (i = 0; i < 576; i++) {
+    out[i] = map[img[i]];
+  }
+}
+
+int main() {
+  build_histogram();
+  build_mapping();
+  apply_mapping();
+
+  int s = 0;
+  int i;
+  for (i = 0; i < 576; i++) {
+    s += out[i];
+  }
+  checksum = s;
+  return s;
+}
+)";
+
+}  // namespace
+
+Workload make_flatten() {
+  Workload w;
+  w.name = "flatten";
+  w.description = "Histogram flattening (gray level mod.)";
+  w.data_description = "24x24 8-bit image";
+  w.source = kSource;
+  Rng rng(0x1006);
+  w.input.add("img", rng.image8(24, 24));
+  w.outputs = {"out", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

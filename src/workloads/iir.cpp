@@ -1,0 +1,64 @@
+// iir — 3-section IIR filter (direct-form II biquad cascade, ~1dB ripple).
+// Paper Table 1: 65 lines, random array of 100 floating point values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* 3-section lowpass IIR biquad cascade (direct form II). */
+float x[100];
+float y[100];
+float b0[3] = { 0.067455, 0.055659, 0.049539 };
+float b1[3] = { 0.134911, 0.111318, 0.099078 };
+float b2[3] = { 0.067455, 0.055659, 0.049539 };
+float a1[3] = { -1.142980, -1.207002, -1.271432 };
+float a2[3] = { 0.412802, 0.429638, 0.469588 };
+float w1[3];
+float w2[3];
+float checksum;
+
+int main() {
+  int n;
+  int s;
+  for (s = 0; s < 3; s++) {
+    w1[s] = 0.0;
+    w2[s] = 0.0;
+  }
+  for (n = 0; n < 100; n++) {
+    float v = x[n];
+    for (s = 0; s < 3; s++) {
+      float t = v - a1[s] * w1[s] - a2[s] * w2[s];
+      v = b0[s] * t + b1[s] * w1[s] + b2[s] * w2[s];
+      w2[s] = w1[s];
+      w1[s] = t;
+    }
+    y[n] = v;
+  }
+
+  float acc = 0.0;
+  for (n = 0; n < 100; n++) {
+    acc += y[n] * y[n];
+  }
+  checksum = acc;
+  return (int)(acc * 1000.0);
+}
+)";
+
+}  // namespace
+
+Workload make_iir() {
+  Workload w;
+  w.name = "iir";
+  w.description = "IIR filter - 3-section, 1dB passband ripple";
+  w.data_description = "Random array of 100 floating point values";
+  w.source = kSource;
+  Rng rng(0x1002);
+  w.input.add("x", rng.float_array(100, -1.0f, 1.0f));
+  w.outputs = {"y", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

@@ -1,0 +1,119 @@
+// intfft — 2:1 interpolation using a forward FFT, spectrum zero-stuffing,
+// and an inverse FFT.
+// Paper Table 1: 280 lines, random array of 100 floating point values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Interpolate 2:1 using FFT and inverse FFT. */
+float x[100];
+float re[256];
+float im[256];
+float yi[256];
+float checksum;
+
+void fft(int n, int dir) {
+  int i;
+  int j = 0;
+  for (i = 0; i < n - 1; i++) {
+    if (i < j) {
+      float tr = re[i];
+      re[i] = re[j];
+      re[j] = tr;
+      float ti = im[i];
+      im[i] = im[j];
+      im[j] = ti;
+    }
+    int k = n >> 1;
+    while (k <= j) {
+      j -= k;
+      k >>= 1;
+    }
+    j += k;
+  }
+
+  int len;
+  for (len = 2; len <= n; len <<= 1) {
+    float ang = dir * 6.28318530718 / len;
+    float wr = cosf(ang);
+    float wi = sinf(ang);
+    int base;
+    for (base = 0; base < n; base += len) {
+      float cr = 1.0;
+      float ci = 0.0;
+      int half = len >> 1;
+      int p;
+      for (p = 0; p < half; p++) {
+        int a = base + p;
+        int b = a + half;
+        float tr = re[b] * cr - im[b] * ci;
+        float ti = re[b] * ci + im[b] * cr;
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] += tr;
+        im[a] += ti;
+        float nr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = nr;
+      }
+    }
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i++) {
+    re[i] = 0.0;
+    im[i] = 0.0;
+  }
+  for (i = 0; i < 100; i++) {
+    re[i] = x[i];
+  }
+
+  /* Forward 128-point transform of the zero-padded input. */
+  fft(128, -1);
+
+  /* Zero-stuff the spectrum into 256 bins: keep the low half at the
+     bottom, move the high half to the top, clear the middle. */
+  for (i = 127; i >= 64; i--) {
+    re[i + 128] = re[i];
+    im[i + 128] = im[i];
+    re[i] = 0.0;
+    im[i] = 0.0;
+  }
+
+  /* Inverse 256-point transform; scale by 2/128 (interpolation gain over
+     forward-transform length). */
+  fft(256, 1);
+  for (i = 0; i < 256; i++) {
+    yi[i] = re[i] * 0.015625;
+  }
+
+  float s = 0.0;
+  for (i = 0; i < 256; i++) {
+    s += yi[i] * yi[i];
+  }
+  checksum = s;
+  return (int)s;
+}
+)";
+
+}  // namespace
+
+Workload make_intfft() {
+  Workload w;
+  w.name = "intfft";
+  w.description = "Interpolate 2:1 using FFT and inverse FFT";
+  w.data_description = "Random array of 100 floating point values";
+  w.source = kSource;
+  Rng rng(0x1004);
+  w.input.add("x", rng.float_array(100, -1.0f, 1.0f));
+  w.outputs = {"yi", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

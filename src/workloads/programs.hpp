@@ -1,0 +1,21 @@
+// Internal factory functions, one per benchmark (see suite.hpp).
+#pragma once
+
+#include "workloads/suite.hpp"
+
+namespace asipfb::wl {
+
+Workload make_fir();
+Workload make_iir();
+Workload make_pse();
+Workload make_intfft();
+Workload make_compress();
+Workload make_flatten();
+Workload make_smooth();
+Workload make_edge();
+Workload make_sewha();
+Workload make_dft();
+Workload make_bspline();
+Workload make_feowf();
+
+}  // namespace asipfb::wl

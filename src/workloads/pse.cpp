@@ -1,0 +1,118 @@
+// pse — power spectral estimation via Welch's method (windowed, averaged
+// 128-point FFT periodograms with 50% overlap).
+// Paper Table 1: 220 lines, random array of 256 floating point values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Power spectral estimation using FFT (Welch periodogram average). */
+float x[256];
+float re[128];
+float im[128];
+float win[128];
+float psd[65];
+float checksum;
+
+/* In-place iterative radix-2 FFT over the re/im globals.
+   dir = -1 forward, +1 inverse (unscaled). */
+void fft(int n, int dir) {
+  int i;
+  int j = 0;
+  for (i = 0; i < n - 1; i++) {
+    if (i < j) {
+      float tr = re[i];
+      re[i] = re[j];
+      re[j] = tr;
+      float ti = im[i];
+      im[i] = im[j];
+      im[j] = ti;
+    }
+    int k = n >> 1;
+    while (k <= j) {
+      j -= k;
+      k >>= 1;
+    }
+    j += k;
+  }
+
+  int len;
+  for (len = 2; len <= n; len <<= 1) {
+    float ang = dir * 6.28318530718 / len;
+    float wr = cosf(ang);
+    float wi = sinf(ang);
+    int base;
+    for (base = 0; base < n; base += len) {
+      float cr = 1.0;
+      float ci = 0.0;
+      int half = len >> 1;
+      int p;
+      for (p = 0; p < half; p++) {
+        int a = base + p;
+        int b = a + half;
+        float tr = re[b] * cr - im[b] * ci;
+        float ti = re[b] * ci + im[b] * cr;
+        re[b] = re[a] - tr;
+        im[b] = im[a] - ti;
+        re[a] += tr;
+        im[a] += ti;
+        float nr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = nr;
+      }
+    }
+  }
+}
+
+int main() {
+  int i;
+  /* Hamming window. */
+  for (i = 0; i < 128; i++) {
+    win[i] = 0.54 - 0.46 * cosf(6.28318530718 * i / 127.0);
+  }
+  for (i = 0; i < 65; i++) {
+    psd[i] = 0.0;
+  }
+
+  /* Three 128-sample segments with 50% overlap. */
+  int seg;
+  for (seg = 0; seg < 3; seg++) {
+    int base = seg * 64;
+    for (i = 0; i < 128; i++) {
+      re[i] = x[base + i] * win[i];
+      im[i] = 0.0;
+    }
+    fft(128, -1);
+    for (i = 0; i < 65; i++) {
+      float p = re[i] * re[i] + im[i] * im[i];
+      psd[i] += p / 3.0;
+    }
+  }
+
+  float s = 0.0;
+  for (i = 0; i < 65; i++) {
+    s += psd[i];
+  }
+  checksum = s;
+  return (int)s;
+}
+)";
+
+}  // namespace
+
+Workload make_pse() {
+  Workload w;
+  w.name = "pse";
+  w.description = "Power spectral estimation using FFT";
+  w.data_description = "Random array of 256 floating point values";
+  w.source = kSource;
+  Rng rng(0x1003);
+  w.input.add("x", rng.float_array(256, -1.0f, 1.0f));
+  w.outputs = {"psd", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

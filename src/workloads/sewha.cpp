@@ -1,0 +1,52 @@
+// sewha — Sewha's symmetric integer FIR filter with output saturation.
+// Paper Table 1: 36 lines, stream of 100 random integer values.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* Sewha's (FIR) filter: 8-tap symmetric integer FIR with saturation. */
+int x[100];
+int y[100];
+int checksum;
+
+int main() {
+  int n;
+  for (n = 7; n < 100; n++) {
+    int acc = (x[n] + x[n - 7]) * 3;
+    acc += (x[n - 1] + x[n - 6]) * 11;
+    acc += (x[n - 2] + x[n - 5]) * 21;
+    acc += (x[n - 3] + x[n - 4]) * 26;
+    acc = acc >> 5;
+    if (acc > 255) acc = 255;
+    if (acc < -256) acc = -256;
+    y[n] = acc;
+  }
+
+  int s = 0;
+  for (n = 0; n < 100; n++) {
+    s += y[n];
+  }
+  checksum = s;
+  return s;
+}
+)";
+
+}  // namespace
+
+Workload make_sewha() {
+  Workload w;
+  w.name = "sewha";
+  w.description = "Sewha's (FIR) filter";
+  w.data_description = "Stream of 100 random integer values";
+  w.source = kSource;
+  Rng rng(0x1009);
+  w.input.add("x", rng.int_array(100, -128, 127));
+  w.outputs = {"y", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

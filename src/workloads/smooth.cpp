@@ -1,0 +1,67 @@
+// smooth — 3x3 Gaussian blur lowpass filter.
+// Paper Table 1: 130 lines, 24x24 8-bit image.
+#include "support/rng.hpp"
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+const char* const kSource = R"(
+/* 3x3 Gaussian blur lowpass filter over a 24x24 8-bit image. */
+int img[576];
+int out[576];
+int kw[9] = { 1, 2, 1, 2, 4, 2, 1, 2, 1 };
+int checksum;
+
+int smooth_at(int r, int c) {
+  int acc = 0;
+  int dr;
+  int dc;
+  for (dr = -1; dr <= 1; dr++) {
+    for (dc = -1; dc <= 1; dc++) {
+      int w = kw[(dr + 1) * 3 + dc + 1];
+      acc += w * img[(r + dr) * 24 + c + dc];
+    }
+  }
+  return acc >> 4;
+}
+
+int main() {
+  int r;
+  int c;
+  for (r = 0; r < 24; r++) {
+    for (c = 0; c < 24; c++) {
+      if (r == 0 || r == 23 || c == 0 || c == 23) {
+        out[r * 24 + c] = img[r * 24 + c];
+      } else {
+        out[r * 24 + c] = smooth_at(r, c);
+      }
+    }
+  }
+
+  int s = 0;
+  int i;
+  for (i = 0; i < 576; i++) {
+    s += out[i];
+  }
+  checksum = s;
+  return s;
+}
+)";
+
+}  // namespace
+
+Workload make_smooth() {
+  Workload w;
+  w.name = "smooth";
+  w.description = "3x3 Gaussian blur lowpass filter";
+  w.data_description = "24x24 8-bit image";
+  w.source = kSource;
+  Rng rng(0x1007);
+  w.input.add("img", rng.image8(24, 24));
+  w.outputs = {"out", "checksum"};
+  return w;
+}
+
+}  // namespace asipfb::wl

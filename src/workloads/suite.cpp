@@ -1,0 +1,52 @@
+#include "workloads/suite.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/programs.hpp"
+
+namespace asipfb::wl {
+
+const std::vector<Workload>& suite() {
+  static const std::vector<Workload> workloads = [] {
+    std::vector<Workload> all;
+    all.push_back(make_fir());
+    all.push_back(make_iir());
+    all.push_back(make_pse());
+    all.push_back(make_intfft());
+    all.push_back(make_compress());
+    all.push_back(make_flatten());
+    all.push_back(make_smooth());
+    all.push_back(make_edge());
+    all.push_back(make_sewha());
+    all.push_back(make_dft());
+    all.push_back(make_bspline());
+    all.push_back(make_feowf());
+    return all;
+  }();
+  return workloads;
+}
+
+const Workload& workload(const std::string& name) {
+  for (const auto& w : suite()) {
+    if (w.name == name) return w;
+  }
+  throw std::out_of_range("no such workload: " + name);
+}
+
+int source_lines(const Workload& w) {
+  std::istringstream stream(w.source);
+  std::string line;
+  int count = 0;
+  while (std::getline(stream, line)) {
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace asipfb::wl

@@ -1,0 +1,34 @@
+// The paper's benchmark suite (Table 1), re-implemented in BenchC.
+//
+// Twelve DSP programs with the data inputs of Table 1 (seeded deterministic
+// generators): four float-stream filters (fir, iir), two FFT applications
+// (pse, intfft), four 24x24 8-bit image kernels (compress, flatten, smooth,
+// edge), and four integer-stream filters (sewha, dft, bspline, feowf).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pipeline/driver.hpp"
+
+namespace asipfb::wl {
+
+struct Workload {
+  std::string name;
+  std::string description;        ///< Table 1 "Description" column.
+  std::string data_description;   ///< Table 1 "Data Input" column.
+  std::string source;             ///< BenchC program text.
+  pipeline::WorkloadInput input;  ///< Deterministic input bindings.
+  std::vector<std::string> outputs;  ///< Globals compared in differential tests.
+};
+
+/// All twelve benchmarks, in the paper's Table 1 order.
+[[nodiscard]] const std::vector<Workload>& suite();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+[[nodiscard]] const Workload& workload(const std::string& name);
+
+/// Number of non-blank source lines of a workload (Table 1 "Lines C-code").
+[[nodiscard]] int source_lines(const Workload& w);
+
+}  // namespace asipfb::wl

@@ -1,0 +1,86 @@
+#include "analysis/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace asipfb::analysis {
+namespace {
+
+using ir::BlockId;
+using ir::Builder;
+using ir::Function;
+using ir::Reg;
+using ir::Type;
+
+/// Diamond: entry -> {left, right} -> merge(ret).
+Function diamond() {
+  Function fn;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId left = b.create_block("left");
+  const BlockId right = b.create_block("right");
+  const BlockId merge = b.create_block("merge");
+  b.set_insert_point(entry);
+  b.emit_cond_br(p, left, right);
+  b.set_insert_point(left);
+  b.emit_br(merge);
+  b.set_insert_point(right);
+  b.emit_br(merge);
+  b.set_insert_point(merge);
+  b.emit_ret_value(p);
+  return fn;
+}
+
+TEST(Cfg, PredecessorsOfDiamond) {
+  const Function fn = diamond();
+  const auto preds = predecessors(fn);
+  EXPECT_TRUE(preds[0].empty());
+  EXPECT_EQ(preds[1], std::vector<BlockId>{0});
+  EXPECT_EQ(preds[2], std::vector<BlockId>{0});
+  EXPECT_EQ(preds[3], (std::vector<BlockId>{1, 2}));
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntryEndsAtExit) {
+  const Function fn = diamond();
+  const auto rpo = reverse_post_order(fn);
+  ASSERT_EQ(rpo.size(), 4u);
+  EXPECT_EQ(rpo.front(), 0u);
+  EXPECT_EQ(rpo.back(), 3u) << "merge is last in RPO of a diamond";
+}
+
+TEST(Cfg, UnreachableBlockExcludedFromRpo) {
+  Function fn = diamond();
+  Builder b(fn);
+  const BlockId dead = b.create_block("dead");
+  b.set_insert_point(dead);
+  b.emit_ret_value(fn.params[0]);
+  const auto rpo = reverse_post_order(fn);
+  EXPECT_EQ(rpo.size(), 4u);
+  const auto reach = reachable_blocks(fn);
+  EXPECT_FALSE(reach[dead]);
+  EXPECT_TRUE(reach[0]);
+}
+
+TEST(Cfg, SelfLoopHandled) {
+  Function fn;
+  fn.return_type = Type::Void;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId spin = b.create_block("spin");
+  b.set_insert_point(entry);
+  b.emit_br(spin);
+  b.set_insert_point(spin);
+  b.emit_cond_br(p, spin, spin);
+  const auto preds = predecessors(fn);
+  EXPECT_EQ(preds[spin].size(), 2u);  // entry + itself (dedup'd successors).
+  EXPECT_EQ(reverse_post_order(fn).size(), 2u);
+}
+
+}  // namespace
+}  // namespace asipfb::analysis

@@ -1,0 +1,88 @@
+#include "analysis/dominators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "ir/builder.hpp"
+
+namespace asipfb::analysis {
+namespace {
+
+using ir::BlockId;
+using ir::Builder;
+using ir::Function;
+using ir::Reg;
+using ir::Type;
+
+Function diamond() {
+  Function fn;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId left = b.create_block("left");
+  const BlockId right = b.create_block("right");
+  const BlockId merge = b.create_block("merge");
+  b.set_insert_point(entry);
+  b.emit_cond_br(p, left, right);
+  b.set_insert_point(left);
+  b.emit_br(merge);
+  b.set_insert_point(right);
+  b.emit_br(merge);
+  b.set_insert_point(merge);
+  b.emit_ret_value(p);
+  return fn;
+}
+
+TEST(Dominators, EntryDominatesEverything) {
+  const Function fn = diamond();
+  const DominatorTree dom(fn);
+  for (BlockId b = 0; b < 4; ++b) {
+    EXPECT_TRUE(dom.dominates(0, b));
+  }
+}
+
+TEST(Dominators, BranchesDoNotDominateMerge) {
+  const Function fn = diamond();
+  const DominatorTree dom(fn);
+  EXPECT_FALSE(dom.dominates(1, 3));
+  EXPECT_FALSE(dom.dominates(2, 3));
+  EXPECT_EQ(dom.idom(3), 0u) << "merge's idom skips the branches";
+}
+
+TEST(Dominators, Reflexive) {
+  const Function fn = diamond();
+  const DominatorTree dom(fn);
+  for (BlockId b = 0; b < 4; ++b) {
+    EXPECT_TRUE(dom.dominates(b, b));
+  }
+}
+
+TEST(Dominators, LoopHeaderDominatesBody) {
+  const ir::Module m = fe::compile_benchc(
+      "int main() { int s = 0; int i; for (i = 0; i < 4; i++) s += i; return s; }",
+      "loop");
+  const auto& fn = m.functions[0];
+  const DominatorTree dom(fn);
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const auto& term = fn.blocks[b].terminator();
+    if (term.op == ir::Opcode::CondBr) {
+      EXPECT_TRUE(dom.dominates(static_cast<BlockId>(b), term.target0));
+    }
+  }
+}
+
+TEST(Dominators, UnreachableBlockHasNoIdom) {
+  Function fn = diamond();
+  Builder b(fn);
+  const BlockId dead = b.create_block("dead");
+  b.set_insert_point(dead);
+  b.emit_ret_value(fn.params[0]);
+  const DominatorTree dom(fn);
+  EXPECT_EQ(dom.idom(dead), ir::kNoBlock);
+  EXPECT_FALSE(dom.dominates(0, dead));
+}
+
+}  // namespace
+}  // namespace asipfb::analysis

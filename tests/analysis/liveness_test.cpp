@@ -1,0 +1,123 @@
+#include "analysis/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace asipfb::analysis {
+namespace {
+
+using ir::BlockId;
+using ir::Builder;
+using ir::Function;
+using ir::Reg;
+using ir::Type;
+
+TEST(Liveness, ValueLiveAcrossBlock) {
+  // entry: x = 1; br next.  next: ret x.
+  Function fn;
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId next = b.create_block("next");
+  b.set_insert_point(entry);
+  const Reg x = b.emit_movi(1);
+  b.emit_br(next);
+  b.set_insert_point(next);
+  b.emit_ret_value(x);
+
+  const Liveness live(fn);
+  EXPECT_TRUE(live.live_out(entry, x));
+  EXPECT_TRUE(live.live_in(next, x));
+  EXPECT_FALSE(live.live_in(entry, x)) << "defined before any use in entry";
+}
+
+TEST(Liveness, DeadAfterLastUse) {
+  Function fn;
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId next = b.create_block("next");
+  b.set_insert_point(entry);
+  const Reg x = b.emit_movi(1);
+  const Reg y = b.emit_unary(ir::Opcode::Neg, Type::I32, x);  // Last use of x.
+  b.emit_br(next);
+  b.set_insert_point(next);
+  b.emit_ret_value(y);
+
+  const Liveness live(fn);
+  EXPECT_FALSE(live.live_out(entry, x));
+  EXPECT_TRUE(live.live_out(entry, y));
+}
+
+TEST(Liveness, LiveOnOneBranchOnly) {
+  // entry: x=1; condbr p, use_x, skip.  use_x: ret x.  skip: ret p.
+  Function fn;
+  fn.return_type = Type::I32;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId use_x = b.create_block("use_x");
+  const BlockId skip = b.create_block("skip");
+  b.set_insert_point(entry);
+  const Reg x = b.emit_movi(1);
+  b.emit_cond_br(p, use_x, skip);
+  b.set_insert_point(use_x);
+  b.emit_ret_value(x);
+  b.set_insert_point(skip);
+  b.emit_ret_value(p);
+
+  const Liveness live(fn);
+  EXPECT_TRUE(live.live_in(use_x, x));
+  EXPECT_FALSE(live.live_in(skip, x));
+  EXPECT_TRUE(live.live_out(entry, x));
+}
+
+TEST(Liveness, LoopCarriedValueLiveAroundBackEdge) {
+  // entry: i=0; br header. header: c = i<10; condbr c, body, exit.
+  // body: i=i+1; br header. exit: ret i.
+  Function fn;
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId header = b.create_block("header");
+  const BlockId body = b.create_block("body");
+  const BlockId exit = b.create_block("exit");
+  b.set_insert_point(entry);
+  const Reg i = fn.new_reg(Type::I32);
+  b.emit(ir::make::movi(i, 0));
+  b.emit_br(header);
+  b.set_insert_point(header);
+  const Reg ten = b.emit_movi(10);
+  const Reg c = b.emit_binary(ir::Opcode::CmpLt, Type::I32, i, ten);
+  b.emit_cond_br(c, body, exit);
+  b.set_insert_point(body);
+  const Reg one = b.emit_movi(1);
+  b.emit(ir::make::binary(ir::Opcode::Add, i, i, one));
+  b.emit_br(header);
+  b.set_insert_point(exit);
+  b.emit_ret_value(i);
+
+  const Liveness live(fn);
+  EXPECT_TRUE(live.live_in(header, i));
+  EXPECT_TRUE(live.live_out(body, i));
+  EXPECT_TRUE(live.live_in(exit, i));
+  EXPECT_FALSE(live.live_in(header, c)) << "condition recomputed each iteration";
+}
+
+TEST(Liveness, UseBeforeDefInSameBlockIsLiveIn) {
+  Function fn;
+  fn.return_type = Type::I32;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg q = b.emit_unary(ir::Opcode::Neg, Type::I32, p);
+  b.emit_ret_value(q);
+  const Liveness live(fn);
+  EXPECT_TRUE(live.live_in(0, p));
+}
+
+}  // namespace
+}  // namespace asipfb::analysis

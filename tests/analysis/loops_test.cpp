@@ -1,0 +1,70 @@
+#include "analysis/loops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "opt/cleanup.hpp"
+
+namespace asipfb::analysis {
+namespace {
+
+ir::Module compile(std::string_view src) {
+  auto m = fe::compile_benchc(src, "loops");
+  opt::canonicalize(m);
+  return m;
+}
+
+TEST(Loops, SingleForLoopFound) {
+  const auto m = compile(
+      "int main() { int s = 0; int i; for (i = 0; i < 4; i++) s += i; return s; }");
+  const auto loops = find_loops(m.functions[0]);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].latches.size(), 1u);
+  EXPECT_GE(loops[0].blocks.size(), 2u);
+  EXPECT_TRUE(loops[0].contains(loops[0].header));
+  EXPECT_EQ(loops[0].depth, 1);
+}
+
+TEST(Loops, WhileLoopFound) {
+  const auto m = compile("int main() { int i = 0; while (i < 9) i++; return i; }");
+  EXPECT_EQ(find_loops(m.functions[0]).size(), 1u);
+}
+
+TEST(Loops, NestedLoopsDepths) {
+  const auto m = compile(R"(
+    int main() {
+      int s = 0;
+      int i;
+      int j;
+      for (i = 0; i < 3; i++)
+        for (j = 0; j < 3; j++)
+          s++;
+      return s;
+    })");
+  const auto loops = find_loops(m.functions[0]);
+  ASSERT_EQ(loops.size(), 2u);
+  // Sorted by size: inner first.
+  EXPECT_LT(loops[0].blocks.size(), loops[1].blocks.size());
+  EXPECT_EQ(loops[0].depth, 2);
+  EXPECT_EQ(loops[1].depth, 1);
+  EXPECT_TRUE(loops[1].contains(loops[0].header));
+}
+
+TEST(Loops, StraightLineHasNoLoops) {
+  const auto m = compile("int main() { int x = 1; return x + 2; }");
+  EXPECT_TRUE(find_loops(m.functions[0]).empty());
+}
+
+TEST(Loops, ConditionalInsideLoopStaysInLoop) {
+  const auto m = compile(
+      "int main() { int s = 0; int i; for (i = 0; i < 4; i++) { if (i > 1) s += i; } return s; }");
+  const auto loops = find_loops(m.functions[0]);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_GE(loops[0].blocks.size(), 3u);
+  for (ir::BlockId latch : loops[0].latches) {
+    EXPECT_TRUE(loops[0].contains(latch));
+  }
+}
+
+}  // namespace
+}  // namespace asipfb::analysis

@@ -1,0 +1,102 @@
+#include "analysis/traces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "frontend/compile.hpp"
+#include "opt/cleanup.hpp"
+#include "sim/machine.hpp"
+
+namespace asipfb::analysis {
+namespace {
+
+ir::Module compile_and_profile(std::string_view src) {
+  auto m = fe::compile_benchc(src, "traces");
+  opt::canonicalize(m);
+  sim::profile_run(m);
+  return m;
+}
+
+TEST(Traces, PartitionCoversEveryBlockOnce) {
+  const auto m = compile_and_profile(
+      "int main() { int s = 0; int i; for (i = 0; i < 9; i++) { if (i % 2) s += i; } return s; }");
+  const auto& fn = m.functions[0];
+  const auto traces = form_traces(fn);
+  std::set<ir::BlockId> seen;
+  std::size_t total = 0;
+  for (const auto& trace : traces) {
+    for (ir::BlockId b : trace) {
+      EXPECT_TRUE(seen.insert(b).second) << "block appears twice";
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, fn.blocks.size());
+}
+
+TEST(Traces, LoopHeaderAndBodyShareATrace) {
+  const auto m = compile_and_profile(
+      "int main() { int s = 0; int i; for (i = 0; i < 50; i++) s += i; return s; }");
+  const auto& fn = m.functions[0];
+  const auto traces = form_traces(fn);
+
+  // Find the hot trace; it must contain at least two blocks (header+body).
+  std::size_t max_len = 0;
+  for (const auto& trace : traces) max_len = std::max(max_len, trace.size());
+  EXPECT_GE(max_len, 2u);
+}
+
+TEST(Traces, TraceFollowsHotSideOfBranch) {
+  // The condition holds 49 of 50 iterations: the hot trace follows "then".
+  const auto m = compile_and_profile(R"(
+    int main() {
+      int s = 0;
+      int i;
+      for (i = 0; i < 50; i++) {
+        if (i > 0) s += i;   /* hot */
+        else s -= 1000;      /* cold */
+      }
+      return s;
+    })");
+  const auto& fn = m.functions[0];
+  const auto traces = form_traces(fn);
+  // Locate the trace containing the loop header (CondBr on the i<50 compare)
+  // and check it extends beyond the header.
+  for (const auto& trace : traces) {
+    if (trace.size() >= 2) {
+      // Consecutive trace blocks must be CFG-linked.
+      for (std::size_t k = 0; k + 1 < trace.size(); ++k) {
+        const auto succs = fn.blocks[trace[k]].successors();
+        EXPECT_NE(std::find(succs.begin(), succs.end(), trace[k + 1]), succs.end())
+            << "trace links must be CFG edges";
+      }
+    }
+  }
+}
+
+TEST(Traces, UnexecutedBlocksAreSingletons) {
+  const auto m = compile_and_profile(R"(
+    int main() {
+      int x = 1;
+      if (x == 0) return 777;  /* never taken */
+      return x;
+    })");
+  const auto& fn = m.functions[0];
+  const auto traces = form_traces(fn);
+  for (const auto& trace : traces) {
+    if (fn.blocks[trace[0]].exec_count() == 0) {
+      EXPECT_EQ(trace.size(), 1u);
+    }
+  }
+}
+
+TEST(Traces, DeterministicAcrossRuns) {
+  const char* src =
+      "int main() { int s = 0; int i; for (i = 0; i < 12; i++) s += i; return s; }";
+  const auto m1 = compile_and_profile(src);
+  const auto m2 = compile_and_profile(src);
+  EXPECT_EQ(form_traces(m1.functions[0]), form_traces(m2.functions[0]));
+}
+
+}  // namespace
+}  // namespace asipfb::analysis

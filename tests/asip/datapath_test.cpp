@@ -1,0 +1,67 @@
+#include "asip/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asipfb::asip {
+namespace {
+
+using chain::Signature;
+using ir::ChainClass;
+
+TEST(Datapath, AllUnitsPositive) {
+  const DatapathModel model;
+  for (int c = 0; c < static_cast<int>(ChainClass::None); ++c) {
+    const auto cc = static_cast<ChainClass>(c);
+    EXPECT_GT(model.unit_area(cc), 0.0) << to_string(cc);
+    EXPECT_GT(model.unit_delay(cc), 0.0) << to_string(cc);
+  }
+  EXPECT_EQ(model.unit_area(ChainClass::None), 0.0);
+}
+
+TEST(Datapath, AdderIsTheUnit) {
+  const DatapathModel model;
+  EXPECT_DOUBLE_EQ(model.unit_area(ChainClass::Add), 1.0);
+  EXPECT_DOUBLE_EQ(model.unit_delay(ChainClass::Add), 1.0);
+}
+
+TEST(Datapath, MultiplierCostsMoreThanAdder) {
+  const DatapathModel model;
+  EXPECT_GT(model.unit_area(ChainClass::Multiply), model.unit_area(ChainClass::Add));
+  EXPECT_GT(model.unit_area(ChainClass::FMultiply),
+            model.unit_area(ChainClass::FAdd));
+  EXPECT_GT(model.unit_area(ChainClass::Divide),
+            model.unit_area(ChainClass::Multiply));
+}
+
+TEST(Datapath, ChainAreaSumsUnitsPlusOverhead) {
+  const DatapathModel model;
+  const Signature mac{{ChainClass::Multiply, ChainClass::Add}};
+  const double expected = model.unit_area(ChainClass::Multiply) +
+                          model.unit_area(ChainClass::Add) +
+                          model.chain_overhead_area;
+  EXPECT_DOUBLE_EQ(model.chain_area(mac), expected);
+}
+
+TEST(Datapath, SingleOpChainHasNoOverhead) {
+  const DatapathModel model;
+  const Signature solo{{ChainClass::Add}};
+  EXPECT_DOUBLE_EQ(model.chain_area(solo), 1.0);
+}
+
+TEST(Datapath, ChainDelaySumsUnits) {
+  const DatapathModel model;
+  const Signature chain{{ChainClass::Add, ChainClass::Shift, ChainClass::Add}};
+  EXPECT_DOUBLE_EQ(model.chain_delay(chain),
+                   1.0 + model.unit_delay(ChainClass::Shift) + 1.0);
+}
+
+TEST(Datapath, LongerChainsCostMore) {
+  const DatapathModel model;
+  const Signature two{{ChainClass::Add, ChainClass::Add}};
+  const Signature three{{ChainClass::Add, ChainClass::Add, ChainClass::Add}};
+  EXPECT_GT(model.chain_area(three), model.chain_area(two));
+  EXPECT_GT(model.chain_delay(three), model.chain_delay(two));
+}
+
+}  // namespace
+}  // namespace asipfb::asip

@@ -1,0 +1,107 @@
+#include "asip/extension.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asipfb::asip {
+namespace {
+
+using chain::CoverageResult;
+using chain::CoverageStep;
+using chain::Signature;
+using ir::ChainClass;
+
+CoverageStep step(std::vector<ChainClass> classes, std::uint64_t weight_sum) {
+  CoverageStep s;
+  s.signature = Signature{std::move(classes)};
+  s.cycles = weight_sum * s.signature.length();
+  s.occurrences_taken = 1;
+  s.frequency = 10.0;
+  return s;
+}
+
+TEST(Extension, SavingsComputedFromCoverage) {
+  CoverageResult coverage;
+  coverage.total_cycles = 10000;
+  coverage.steps.push_back(step({ChainClass::Multiply, ChainClass::Add}, 500));
+  const auto proposal = propose_extensions(coverage, 10000);
+  ASSERT_EQ(proposal.candidates.size(), 1u);
+  // 500 occurrences-weight of a 2-op chain saves 500 cycles.
+  EXPECT_EQ(proposal.candidates[0].cycles_saved, 500u);
+  ASSERT_EQ(proposal.selected.size(), 1u);
+  EXPECT_EQ(proposal.customized_cycles, 9500u);
+  EXPECT_NEAR(proposal.speedup(), 10000.0 / 9500.0, 1e-12);
+}
+
+TEST(Extension, LongerChainsSaveMore) {
+  CoverageResult coverage;
+  coverage.total_cycles = 10000;
+  coverage.steps.push_back(
+      step({ChainClass::Add, ChainClass::Multiply, ChainClass::Add}, 300));
+  const auto proposal = propose_extensions(coverage, 10000);
+  EXPECT_EQ(proposal.candidates[0].cycles_saved, 600u) << "(L-1) * weight";
+}
+
+TEST(Extension, AreaBudgetRespected) {
+  CoverageResult coverage;
+  coverage.total_cycles = 10000;
+  coverage.steps.push_back(step({ChainClass::Multiply, ChainClass::Add}, 100));
+  coverage.steps.push_back(step({ChainClass::Add, ChainClass::Add}, 90));
+  coverage.steps.push_back(step({ChainClass::Shift, ChainClass::Add}, 80));
+  SelectionOptions options;
+  options.area_budget = 3.0;  // Multiplier (8+) cannot fit.
+  const auto proposal = propose_extensions(coverage, 10000, {}, options);
+  EXPECT_LE(proposal.total_area, 3.0);
+  for (const auto& selected : proposal.selected) {
+    EXPECT_NE(selected.signature.classes[0], ChainClass::Multiply);
+  }
+  EXPECT_FALSE(proposal.selected.empty());
+}
+
+TEST(Extension, CycleBudgetRejectsSlowChains) {
+  CoverageResult coverage;
+  coverage.total_cycles = 10000;
+  coverage.steps.push_back(
+      step({ChainClass::FDivide, ChainClass::FDivide}, 500));  // 20 delays.
+  SelectionOptions options;
+  options.cycle_budget = 5.0;
+  const auto proposal = propose_extensions(coverage, 10000, {}, options);
+  EXPECT_TRUE(proposal.selected.empty());
+  ASSERT_EQ(proposal.candidates.size(), 1u);
+  EXPECT_FALSE(proposal.candidates[0].fits_cycle);
+  EXPECT_EQ(proposal.customized_cycles, 10000u);
+}
+
+TEST(Extension, GreedyPrefersDenserSavings) {
+  CoverageResult coverage;
+  coverage.total_cycles = 100000;
+  // Cheap adder chain saving a lot vs expensive divider chain saving little.
+  coverage.steps.push_back(step({ChainClass::Add, ChainClass::Add}, 5000));
+  coverage.steps.push_back(step({ChainClass::Divide, ChainClass::Add}, 100));
+  SelectionOptions options;
+  options.area_budget = 4.0;  // Only the adder chain fits.
+  const auto proposal = propose_extensions(coverage, 100000, {}, options);
+  ASSERT_EQ(proposal.selected.size(), 1u);
+  EXPECT_EQ(proposal.selected[0].signature.to_string(), "add-add");
+}
+
+TEST(Extension, EmptyCoverageNoSpeedup) {
+  CoverageResult coverage;
+  coverage.total_cycles = 500;
+  const auto proposal = propose_extensions(coverage, 500);
+  EXPECT_TRUE(proposal.selected.empty());
+  EXPECT_DOUBLE_EQ(proposal.speedup(), 1.0);
+}
+
+TEST(Extension, RenderContainsSelections) {
+  CoverageResult coverage;
+  coverage.total_cycles = 10000;
+  coverage.steps.push_back(step({ChainClass::Multiply, ChainClass::Add}, 500));
+  const auto proposal = propose_extensions(coverage, 10000);
+  const std::string out = render_proposal(proposal);
+  EXPECT_NE(out.find("multiply-add"), std::string::npos);
+  EXPECT_NE(out.find("speedup"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asipfb::asip

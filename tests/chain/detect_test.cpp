@@ -1,0 +1,171 @@
+#include "chain/detect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "opt/cleanup.hpp"
+#include "sim/machine.hpp"
+
+namespace asipfb::chain {
+namespace {
+
+ir::Module profiled(std::string_view src) {
+  auto m = fe::compile_benchc(src, "det");
+  opt::canonicalize(m);
+  sim::profile_run(m);
+  return m;
+}
+
+TEST(Detect, MacChainFoundWithFrequency) {
+  auto m = profiled(
+      "int main() { int a = 3; int b = 4; int c = 5; return a * b + c; }");
+  const auto result = detect_sequences(m);
+  const auto sig = parse_signature("multiply-add");
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_GT(result.frequency_of(*sig), 0.0);
+  EXPECT_GT(result.total_cycles, 0u);
+}
+
+TEST(Detect, FrequencyIsPercentOfTotalCycles) {
+  // Straight-line: every op executes once; one multiply-add pair of
+  // length 2 accounts for exactly 2 / total ops.
+  auto m = profiled(
+      "int main() { int a = 3; int b = 4; int c = 5; return a * b + c; }");
+  const auto result = detect_sequences(m);
+  const auto sig = parse_signature("multiply-add");
+  const double expected =
+      200.0 / static_cast<double>(result.total_cycles);
+  EXPECT_NEAR(result.frequency_of(*sig), expected, 1e-9);
+}
+
+TEST(Detect, ExternalDenominatorRespected) {
+  auto m = profiled("int main() { int a = 1; int b = 2; return a * b + 1; }");
+  const auto result = detect_sequences(m, {}, 1000);
+  EXPECT_EQ(result.total_cycles, 1000u);
+  const auto sig = parse_signature("multiply-add");
+  EXPECT_NEAR(result.frequency_of(*sig), 0.2, 1e-9);
+}
+
+TEST(Detect, LengthBoundsRespected) {
+  auto m = profiled(R"(
+    int main() {
+      int a = 1; int b = 2; int c = 3; int d = 4; int e = 5; int f = 6;
+      return ((((a + b) + c) + d) + e) + f;
+    })");
+  DetectorOptions options;
+  options.min_length = 2;
+  options.max_length = 3;
+  const auto result = detect_sequences(m, options);
+  for (const auto& stat : result.sequences) {
+    EXPECT_GE(stat.signature.length(), 2u);
+    EXPECT_LE(stat.signature.length(), 3u);
+  }
+}
+
+TEST(Detect, SortedByDescendingFrequency) {
+  auto m = profiled(R"(
+    int g;
+    int main() {
+      int i;
+      for (i = 0; i < 40; i++) g += i * 3;
+      return g;
+    })");
+  const auto result = detect_sequences(m);
+  for (std::size_t i = 1; i < result.sequences.size(); ++i) {
+    EXPECT_GE(result.sequences[i - 1].frequency, result.sequences[i].frequency);
+  }
+}
+
+TEST(Detect, UnexecutedCodeContributesNothing) {
+  auto m = profiled(R"(
+    int main() {
+      int x = 1;
+      if (x == 0) { int y = x * 3 + 1; return y; }  /* dead */
+      return x;
+    })");
+  const auto result = detect_sequences(m);
+  const auto sig = parse_signature("multiply-add");
+  EXPECT_EQ(result.frequency_of(*sig), 0.0);
+}
+
+TEST(Detect, PruningIsSoundForHighFrequencySequences) {
+  // Branch-and-bound with a 1% floor must report identical values for any
+  // sequence at or above the floor.
+  auto m = profiled(R"(
+    int g;
+    int main() {
+      int i;
+      for (i = 0; i < 100; i++) g += i * 7;
+      return g;
+    })");
+  const auto exhaustive = detect_sequences(m, {});
+  DetectorOptions pruned_options;
+  pruned_options.prune_percent = 1.0;
+  const auto pruned = detect_sequences(m, pruned_options);
+  EXPECT_LE(pruned.paths, exhaustive.paths);
+  for (const auto& stat : exhaustive.sequences) {
+    if (stat.frequency < 1.0) continue;
+    EXPECT_NEAR(pruned.frequency_of(stat.signature), stat.frequency, 1e-9)
+        << stat.signature.to_string();
+  }
+}
+
+TEST(Detect, AdjacencyModeIsSubsetOfFullDetection) {
+  auto m = profiled(R"(
+    int x[32];
+    int main() {
+      int i;
+      for (i = 0; i < 32; i++) x[i] = i * 5 + 2;
+      int s = 0;
+      for (i = 0; i < 32; i++) s += x[i];
+      return s;
+    })");
+  const auto full = detect_sequences(m);
+  DetectorOptions adjacent_options;
+  adjacent_options.require_adjacency = true;
+  const auto adjacent = detect_sequences(m, adjacent_options);
+  EXPECT_LE(adjacent.paths, full.paths);
+  for (const auto& stat : adjacent.sequences) {
+    EXPECT_LE(stat.frequency, full.frequency_of(stat.signature) + 1e-9)
+        << stat.signature.to_string();
+  }
+}
+
+TEST(Detect, OccurrenceCountsAndCyclesConsistent) {
+  auto m = profiled(
+      "int main() { int a = 2; int b = 3; int c = 4; return a * b + c; }");
+  const auto result = detect_sequences(m);
+  for (const auto& stat : result.sequences) {
+    EXPECT_GT(stat.occurrences, 0u);
+    EXPECT_GE(stat.cycles, stat.occurrences)
+        << "each occurrence contributes at least weight 1 x length";
+    EXPECT_NEAR(stat.frequency,
+                100.0 * static_cast<double>(stat.cycles) /
+                    static_cast<double>(result.total_cycles),
+                1e-9);
+  }
+}
+
+TEST(Detect, MaxOccurrencesSafetyValve) {
+  auto m = profiled(R"(
+    int g;
+    int main() {
+      int i;
+      for (i = 0; i < 10; i++) g += i * 3 + i * 5 + i * 7;
+      return g;
+    })");
+  DetectorOptions options;
+  options.max_occurrences = 5;
+  const auto result = detect_sequences(m, options);
+  EXPECT_LE(result.paths, 5u);
+}
+
+TEST(Detect, FrequencyOfUnknownSignatureIsZero) {
+  auto m = profiled("int main() { return 1; }");
+  const auto result = detect_sequences(m);
+  const auto sig = parse_signature("fdivide-fdivide-fdivide");
+  EXPECT_EQ(result.frequency_of(*sig), 0.0);
+}
+
+}  // namespace
+}  // namespace asipfb::chain

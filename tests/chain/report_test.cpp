@@ -1,0 +1,58 @@
+#include "chain/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "opt/cleanup.hpp"
+#include "sim/machine.hpp"
+
+namespace asipfb::chain {
+namespace {
+
+ir::Module profiled(std::string_view src) {
+  auto m = fe::compile_benchc(src, "rep");
+  opt::canonicalize(m);
+  sim::profile_run(m);
+  return m;
+}
+
+const char* const kProgram =
+    "int g; int main() { int i; for (i = 0; i < 50; i++) g += i * 3; return g; }";
+
+TEST(Report, TopSequencesContainsRankedRows) {
+  auto m = profiled(kProgram);
+  const auto result = detect_sequences(m);
+  const std::string out = render_top_sequences(result, 5);
+  EXPECT_NE(out.find("sequence"), std::string::npos);
+  EXPECT_NE(out.find("dyn freq"), std::string::npos);
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("%"), std::string::npos);
+}
+
+TEST(Report, TopSequencesRespectsLimit) {
+  auto m = profiled(kProgram);
+  const auto result = detect_sequences(m);
+  const std::string two = render_top_sequences(result, 2);
+  const std::string all = render_top_sequences(result, 1000);
+  EXPECT_LT(two.size(), all.size());
+}
+
+TEST(Report, CoverageRendersTotalRow) {
+  auto m = profiled(kProgram);
+  const auto coverage = coverage_analysis(m);
+  const std::string out = render_coverage(coverage);
+  EXPECT_NE(out.find("TOTAL COVERAGE"), std::string::npos);
+  EXPECT_NE(out.find("frequency"), std::string::npos);
+}
+
+TEST(Report, EmptyResultsStillRender) {
+  DetectionResult empty;
+  EXPECT_NO_THROW(render_top_sequences(empty));
+  CoverageResult no_coverage;
+  const std::string out = render_coverage(no_coverage);
+  EXPECT_NE(out.find("TOTAL COVERAGE"), std::string::npos);
+  EXPECT_NE(out.find("0.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asipfb::chain

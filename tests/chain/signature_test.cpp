@@ -1,0 +1,60 @@
+#include "chain/signature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asipfb::chain {
+namespace {
+
+using ir::ChainClass;
+
+TEST(Signature, ToStringJoinsWithDashes) {
+  Signature sig{{ChainClass::Multiply, ChainClass::Add}};
+  EXPECT_EQ(sig.to_string(), "multiply-add");
+  Signature sig3{{ChainClass::Add, ChainClass::Shift, ChainClass::Add}};
+  EXPECT_EQ(sig3.to_string(), "add-shift-add");
+}
+
+TEST(Signature, PaperExamplesParse) {
+  for (const char* name :
+       {"multiply-add", "add-multiply", "add-add", "add-multiply-add",
+        "multiply-add-add", "add-shift-add", "load-multiply-add",
+        "fload-fmultiply", "fmultiply-fsub-fstore", "fload-fadd",
+        "shift-add-subtract", "add-compare", "add-load"}) {
+    const auto sig = parse_signature(name);
+    ASSERT_TRUE(sig.has_value()) << name;
+    EXPECT_EQ(sig->to_string(), name);
+  }
+}
+
+TEST(Signature, RoundTripAllClasses) {
+  for (int c = 0; c < static_cast<int>(ChainClass::None); ++c) {
+    Signature sig{{static_cast<ChainClass>(c), ChainClass::Add}};
+    const auto parsed = parse_signature(sig.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, sig);
+  }
+}
+
+TEST(Signature, ParseRejectsUnknownClass) {
+  EXPECT_FALSE(parse_signature("multiply-banana").has_value());
+  EXPECT_FALSE(parse_signature("").has_value());
+  EXPECT_FALSE(parse_signature("none").has_value());
+}
+
+TEST(Signature, OrderingIsLexicographic) {
+  Signature a{{ChainClass::Add}};
+  Signature b{{ChainClass::Add, ChainClass::Add}};
+  Signature c{{ChainClass::Multiply}};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a == a);
+}
+
+TEST(Signature, LengthMatchesClassCount) {
+  EXPECT_EQ(parse_signature("add-add-add-add-add")->length(), 5u);
+  EXPECT_EQ(parse_signature("load")->length(), 1u);
+}
+
+}  // namespace
+}  // namespace asipfb::chain

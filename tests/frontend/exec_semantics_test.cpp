@@ -1,0 +1,156 @@
+// End-to-end BenchC language semantics: compile, canonicalize, execute, and
+// check main's return value.  One parameterized case per language behaviour.
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "opt/cleanup.hpp"
+#include "sim/machine.hpp"
+
+namespace asipfb {
+namespace {
+
+struct SemanticsCase {
+  const char* name;
+  const char* source;
+  std::int32_t expected;
+};
+
+class ExecSemantics : public ::testing::TestWithParam<SemanticsCase> {};
+
+TEST_P(ExecSemantics, ReturnsExpected) {
+  const auto& param = GetParam();
+  ir::Module m = fe::compile_benchc(param.source, param.name);
+  opt::canonicalize(m);
+  sim::Machine machine(m);
+  const auto result = machine.run();
+  EXPECT_EQ(result.exit_code, param.expected);
+}
+
+const SemanticsCase kCases[] = {
+    {"return_const", "int main() { return 42; }", 42},
+    {"int_arithmetic", "int main() { return 2 + 3 * 4 - 5; }", 9},
+    {"division_truncates", "int main() { return 7 / 2; }", 3},
+    {"negative_division", "int main() { return -7 / 2; }", -3},
+    {"remainder", "int main() { return 17 % 5; }", 2},
+    {"negative_remainder", "int main() { return -17 % 5; }", -2},
+    {"unary_minus", "int main() { return -(3 - 8); }", 5},
+    {"bit_ops", "int main() { return (12 & 10) | (1 ^ 3); }", 10},
+    {"bit_not", "int main() { return ~0; }", -1},
+    {"shifts", "int main() { return (1 << 6) + (256 >> 4); }", 80},
+    {"arithmetic_shift_right", "int main() { return -8 >> 1; }", -4},
+    {"logical_not", "int main() { return !0 + !7; }", 1},
+    {"comparisons",
+     "int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1); }",
+     4},
+    {"float_to_int_truncation", "int main() { return (int)3.9; }", 3},
+    {"negative_float_truncation", "int main() { return (int)-3.9; }", -3},
+    {"int_to_float_promotion", "int main() { return (int)(1 / 2.0 * 8.0); }", 4},
+    {"float_compare", "int main() { return 1.5 > 1.0; }", 1},
+    {"if_else", "int main() { int x = 3; if (x > 2) return 1; else return 2; }", 1},
+    {"if_no_else_falls_through",
+     "int main() { int x = 1; if (x > 2) return 9; return 7; }", 7},
+    {"while_loop", "int main() { int i = 0; int s = 0; while (i < 5) { s += i; i++; } return s; }",
+     10},
+    {"for_loop", "int main() { int s = 0; int i; for (i = 1; i <= 4; i++) s += i; return s; }",
+     10},
+    {"for_with_decl", "int main() { int s = 0; for (int i = 0; i < 3; i++) s += 2; return s; }",
+     6},
+    {"nested_loops",
+     "int main() { int s = 0; int i; int j; for (i = 0; i < 3; i++) for (j = 0; j < 4; j++) s++; return s; }",
+     12},
+    {"break_exits_loop",
+     "int main() { int i; for (i = 0; i < 100; i++) { if (i == 5) break; } return i; }", 5},
+    {"continue_skips",
+     "int main() { int s = 0; int i; for (i = 0; i < 6; i++) { if (i % 2) continue; s += i; } return s; }",
+     6},
+    {"prefix_increment", "int main() { int i = 3; return ++i + i; }", 8},
+    {"postfix_increment", "int main() { int i = 3; return i++ + i; }", 7},
+    {"prefix_decrement", "int main() { int i = 3; return --i; }", 2},
+    {"compound_assignments",
+     "int main() { int x = 10; x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x <<= 2; x >>= 1; x |= 8; x &= 12; x ^= 5; return x; }",
+     9},
+    {"chained_assignment", "int main() { int a; int b; a = b = 4; return a + b; }", 8},
+    {"short_circuit_and_skips_rhs",
+     "int g; int side() { g = 1; return 1; } int main() { int t = 0 && side(); return g * 10 + t; }",
+     0},
+    {"short_circuit_or_skips_rhs",
+     "int g; int side() { g = 1; return 1; } int main() { int t = 1 || side(); return g * 10 + t; }",
+     1},
+    {"and_evaluates_rhs_when_needed",
+     "int main() { return 2 && 3; }", 1},
+    {"global_scalar_init", "int g = 5; int main() { return g; }", 5},
+    {"global_default_zero", "int g; int main() { return g; }", 0},
+    {"global_array_init", "int a[4] = {3, 1, 4, 1}; int main() { return a[0]*1000 + a[1]*100 + a[2]*10 + a[3]; }",
+     3141},
+    {"global_array_partial_init_zeroes_rest",
+     "int a[4] = {9}; int main() { return a[0] + a[1] + a[2] + a[3]; }", 9},
+    {"array_write_read",
+     "int a[10]; int main() { int i; for (i = 0; i < 10; i++) a[i] = i * i; return a[7]; }", 49},
+    {"local_array",
+     "int main() { int t[4]; t[0] = 2; t[1] = t[0] * 3; return t[1]; }", 6},
+    {"array_element_incdec",
+     "int a[2]; int main() { a[0] = 5; a[0]++; ++a[0]; a[0]--; return a[0]; }", 6},
+    {"array_compound_assign",
+     "int a[2]; int main() { a[1] = 10; a[1] *= 3; return a[1]; }", 30},
+    {"function_call", "int add3(int a, int b, int c) { return a + b + c; } int main() { return add3(1, 2, 3); }",
+     6},
+    {"recursion", "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); } int main() { return fact(6); }",
+     720},
+    {"mutual_calls",
+     "int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); } int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); } int main() { return is_even(10); }",
+     1},
+    {"float_params",
+     "float scale(float x, float k) { return x * k; } int main() { return (int)scale(3.0, 2.5); }",
+     7},
+    {"void_function_side_effect",
+     "int g; void set(int v) { g = v; } int main() { set(13); return g; }", 13},
+    {"intrinsic_sqrt", "int main() { return (int)sqrtf(144.0); }", 12},
+    {"intrinsic_abs", "int main() { return abs(-27); }", 27},
+    {"intrinsic_fabs", "int main() { return (int)fabsf(-2.5); }", 2},
+    {"intrinsic_floor", "int main() { return (int)floorf(3.7); }", 3},
+    {"intrinsic_trig", "int main() { return (int)(cosf(0.0) * 10.0 + sinf(0.0)); }", 10},
+    {"mixed_int_float_expression",
+     "int main() { int i = 3; float f = 0.5; return (int)(i * f * 4.0); }", 6},
+    {"strength_reduced_multiplies_correct",
+     "int main() { int x = 7; return x * 24 + x * 8 + x * 3 + x * 1 + x * 0; }", 252},
+    {"empty_statements", "int main() { ;; int x = 1; ; return x; }", 1},
+    {"deeply_nested_blocks",
+     "int main() { int x = 0; { { { x = 5; } } } return x; }", 5},
+    {"while_false_never_runs",
+     "int main() { int s = 3; while (0) s = 99; return s; }", 3},
+    {"float_condition_nonzero",
+     "int main() { float f = 0.5; if (f) return 1; return 0; }", 1},
+    {"integer_wraparound",
+     "int main() { int x = 2147483647; x = x + 1; return x == -2147483648; }", 1},
+};
+
+std::string case_name(const ::testing::TestParamInfo<SemanticsCase>& info) {
+  return info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(BenchC, ExecSemantics, ::testing::ValuesIn(kCases),
+                         case_name);
+
+TEST(ExecErrors, DivisionByZeroTraps) {
+  ir::Module m = fe::compile_benchc(
+      "int main() { int z = 0; return 1 / z; }", "divzero");
+  sim::Machine machine(m);
+  EXPECT_THROW(machine.run(), sim::SimError);
+}
+
+TEST(ExecErrors, OutOfBoundsStoreTraps) {
+  ir::Module m = fe::compile_benchc(
+      "int a[4]; int main() { int i = 100000000; a[i] = 1; return 0; }", "oobstore");
+  sim::Machine machine(m);
+  EXPECT_THROW(machine.run(), sim::SimError);
+}
+
+TEST(ExecErrors, UnboundedRecursionTraps) {
+  ir::Module m = fe::compile_benchc(
+      "int f(int n) { return f(n + 1); } int main() { return f(0); }", "recurse");
+  sim::Machine machine(m);
+  EXPECT_THROW(machine.run(), sim::SimError);
+}
+
+}  // namespace
+}  // namespace asipfb

@@ -1,0 +1,120 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asipfb::fe {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  auto tokens = lex(src, diags);
+  EXPECT_FALSE(diags.has_errors());
+  return tokens;
+}
+
+std::vector<Tok> kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex_ok(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  EXPECT_EQ(kinds(""), std::vector<Tok>{Tok::End});
+}
+
+TEST(Lexer, Keywords) {
+  EXPECT_EQ(kinds("int float void if else while for return break continue"),
+            (std::vector<Tok>{Tok::KwInt, Tok::KwFloat, Tok::KwVoid, Tok::KwIf,
+                              Tok::KwElse, Tok::KwWhile, Tok::KwFor, Tok::KwReturn,
+                              Tok::KwBreak, Tok::KwContinue, Tok::End}));
+}
+
+TEST(Lexer, IdentifiersNotKeywords) {
+  const auto tokens = lex_ok("integer whileX _x x_1");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tokens[i].kind, Tok::Ident);
+  EXPECT_EQ(tokens[0].text, "integer");
+  EXPECT_EQ(tokens[2].text, "_x");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto tokens = lex_ok("0 42 1000000");
+  EXPECT_EQ(tokens[0].int_val, 0);
+  EXPECT_EQ(tokens[1].int_val, 42);
+  EXPECT_EQ(tokens[2].int_val, 1000000);
+  EXPECT_EQ(tokens[1].kind, Tok::IntLit);
+}
+
+TEST(Lexer, FloatLiterals) {
+  const auto tokens = lex_ok("1.5 0.25 2e3 1.5e-2 3f .5");
+  EXPECT_EQ(tokens[0].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(tokens[0].float_val, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_val, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].float_val, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_val, 0.015);
+  EXPECT_EQ(tokens[4].kind, Tok::FloatLit) << "'f' suffix forces float";
+  EXPECT_DOUBLE_EQ(tokens[5].float_val, 0.5) << "leading-dot literal";
+}
+
+TEST(Lexer, OperatorsSingleAndCompound) {
+  EXPECT_EQ(kinds("+ - * / % << >> & | ^ ~ ! < > = =="),
+            (std::vector<Tok>{Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash,
+                              Tok::Percent, Tok::Shl, Tok::Shr, Tok::Amp,
+                              Tok::Pipe, Tok::Caret, Tok::Tilde, Tok::Bang,
+                              Tok::Lt, Tok::Gt, Tok::Assign, Tok::Eq, Tok::End}));
+  EXPECT_EQ(kinds("+= -= *= /= %= <<= >>= &= |= ^= != <= >= && || ++ --"),
+            (std::vector<Tok>{Tok::PlusAssign, Tok::MinusAssign, Tok::StarAssign,
+                              Tok::SlashAssign, Tok::PercentAssign, Tok::ShlAssign,
+                              Tok::ShrAssign, Tok::AndAssign, Tok::OrAssign,
+                              Tok::XorAssign, Tok::Ne, Tok::Le, Tok::Ge,
+                              Tok::AmpAmp, Tok::PipePipe, Tok::PlusPlus,
+                              Tok::MinusMinus, Tok::End}));
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(kinds("( ) { } [ ] , ;"),
+            (std::vector<Tok>{Tok::LParen, Tok::RParen, Tok::LBrace, Tok::RBrace,
+                              Tok::LBracket, Tok::RBracket, Tok::Comma,
+                              Tok::Semicolon, Tok::End}));
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  EXPECT_EQ(kinds("1 // comment to end of line\n2"),
+            (std::vector<Tok>{Tok::IntLit, Tok::IntLit, Tok::End}));
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  EXPECT_EQ(kinds("1 /* multi\nline */ 2"),
+            (std::vector<Tok>{Tok::IntLit, Tok::IntLit, Tok::End}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentReported) {
+  DiagnosticEngine diags;
+  lex("1 /* oops", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnexpectedCharacterReported) {
+  DiagnosticEngine diags;
+  lex("int $x;", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, SourceLocationsTracked) {
+  const auto tokens = lex_ok("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(Lexer, MinusMinusVersusMinus) {
+  EXPECT_EQ(kinds("a - -b"),
+            (std::vector<Tok>{Tok::Ident, Tok::Minus, Tok::Minus, Tok::Ident,
+                              Tok::End}));
+  EXPECT_EQ(kinds("a--"),
+            (std::vector<Tok>{Tok::Ident, Tok::MinusMinus, Tok::End}));
+}
+
+}  // namespace
+}  // namespace asipfb::fe

@@ -1,0 +1,155 @@
+// The paper's qualitative findings, asserted with safety margins:
+//
+//  (1) Percolation + pipelining (O1) exposes substantially more chainable
+//      sequences than the unscheduled baseline (O0) — section 6.1.
+//  (2) Register renaming (O2) erodes part of what O1 found — section 6.1.
+//  (3) Multiply-accumulate chains are frequent, confirming the MAC — §6.1.
+//  (4) Compiler feedback raises coverage with fewer sequences — section 7.
+//  (5) Renaming helps ILP even while hurting chains — sections 6.1 / 8.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "asip/extension.hpp"
+#include "opt/ilp.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb {
+namespace {
+
+const pipeline::PreparedProgram& prepared(const std::string& name) {
+  static std::map<std::string, pipeline::PreparedProgram> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const auto& w = wl::workload(name);
+    it = cache.emplace(name, pipeline::prepare(w.source, w.name, w.input)).first;
+  }
+  return it->second;
+}
+
+/// Suite-combined frequency of one signature: equal-weight mean over all
+/// twelve benchmarks (see DESIGN.md section 5).
+double combined_frequency(const char* signature, opt::OptLevel level) {
+  const auto sig = chain::parse_signature(signature);
+  EXPECT_TRUE(sig.has_value());
+  double sum = 0.0;
+  for (const auto& w : wl::suite()) {
+    sum += pipeline::analyze_level(prepared(w.name), level).frequency_of(*sig);
+  }
+  return sum / static_cast<double>(wl::suite().size());
+}
+
+TEST(PaperClaims, PipeliningExposesAccumulatorChains) {
+  // Table 2's add-add row: grows strongly under O1.
+  const double o0 = combined_frequency("add-add", opt::OptLevel::O0);
+  const double o1 = combined_frequency("add-add", opt::OptLevel::O1);
+  EXPECT_GT(o1, o0 * 1.5) << "O0=" << o0 << " O1=" << o1;
+}
+
+TEST(PaperClaims, RenamingErodesAccumulatorChains) {
+  const double o1 = combined_frequency("add-add", opt::OptLevel::O1);
+  const double o2 = combined_frequency("add-add", opt::OptLevel::O2);
+  EXPECT_LT(o2, o1 * 0.8) << "O1=" << o1 << " O2=" << o2;
+}
+
+TEST(PaperClaims, AddCompareOnlyVisibleWithScheduling) {
+  // Induction-variable increments chain into the loop test only after
+  // pipelining; renaming's repair copies break the pair again.
+  const double o0 = combined_frequency("add-compare", opt::OptLevel::O0);
+  const double o1 = combined_frequency("add-compare", opt::OptLevel::O1);
+  const double o2 = combined_frequency("add-compare", opt::OptLevel::O2);
+  EXPECT_GT(o1, o0 * 2.0) << "O0=" << o0 << " O1=" << o1;
+  EXPECT_LT(o2, o1 * 0.5) << "O1=" << o1 << " O2=" << o2;
+}
+
+TEST(PaperClaims, FloatMacChainsConfirmTheMacInstruction) {
+  // The paper: multiply-add occurred in relatively high frequency at every
+  // level, verifying the MAC as a good DSP chained instruction.
+  const double o0 = combined_frequency("fmultiply-fadd", opt::OptLevel::O0);
+  const double o1 = combined_frequency("fmultiply-fadd", opt::OptLevel::O1);
+  const double o2 = combined_frequency("fmultiply-fadd", opt::OptLevel::O2);
+  EXPECT_GT(o1, 2.0);
+  EXPECT_GE(o1, o0);
+  EXPECT_GT(o2, o1 * 0.8) << "MAC survives renaming (paper Table 2)";
+}
+
+TEST(PaperClaims, AddMultiplyGrowsWithPipelining) {
+  // Table 2's headline: add-multiply barely exists in sequential order and
+  // appears under pipelining.
+  const double o0 = combined_frequency("add-multiply", opt::OptLevel::O0);
+  const double o1 = combined_frequency("add-multiply", opt::OptLevel::O1);
+  EXPECT_GT(o1, o0) << "O0=" << o0 << " O1=" << o1;
+}
+
+TEST(PaperClaims, LoadChainsVisibleInAddressArithmetic) {
+  // add-load (address computation chains) — prominent in the paper's edge
+  // and iir rows.
+  EXPECT_GT(combined_frequency("add-load", opt::OptLevel::O1), 3.0);
+  EXPECT_GT(combined_frequency("add-fload", opt::OptLevel::O1), 3.0);
+}
+
+TEST(PaperClaims, CoverageImprovesWithOptimizationTable3) {
+  // Paper Table 3 benchmarks (iir is flat in our reproduction — the front
+  // end's tree-ordered 3AC is already chain-friendly; see EXPERIMENTS.md).
+  int improved = 0;
+  for (const char* name : {"sewha", "feowf", "bspline", "edge"}) {
+    const auto& p = prepared(name);
+    const auto no_opt = pipeline::coverage_at_level(p, opt::OptLevel::O0);
+    const auto with_opt = pipeline::coverage_at_level(p, opt::OptLevel::O1);
+    EXPECT_GT(with_opt.total_coverage, no_opt.total_coverage) << name;
+    if (with_opt.total_coverage > no_opt.total_coverage) ++improved;
+  }
+  EXPECT_EQ(improved, 4);
+}
+
+TEST(PaperClaims, RenamingHelpsIlpDespiteHurtingChains) {
+  double ilp_o1 = 0.0;
+  double ilp_o2 = 0.0;
+  for (const char* name : {"fir", "smooth", "bspline", "feowf"}) {
+    const auto& p = prepared(name);
+    ir::Module m1 = pipeline::optimized_variant(p, opt::OptLevel::O1);
+    ir::Module m2 = pipeline::optimized_variant(p, opt::OptLevel::O2);
+    ilp_o1 += opt::measure_ilp(m1, 8).ops_per_cycle;
+    ilp_o2 += opt::measure_ilp(m2, 8).ops_per_cycle;
+  }
+  EXPECT_GT(ilp_o2, ilp_o1) << "renaming must raise achievable ILP";
+}
+
+TEST(PaperClaims, FeedbackDrivenExtensionsYieldSpeedup) {
+  // Closing the Figure-1 loop: adopting the suggested chained instructions
+  // must produce a measurable cycle-count reduction on the suite.
+  double total_speedup = 0.0;
+  for (const char* name : {"fir", "iir", "sewha", "bspline", "edge"}) {
+    const auto& p = prepared(name);
+    const auto coverage = pipeline::coverage_at_level(p, opt::OptLevel::O1);
+    const auto proposal = asip::propose_extensions(coverage, p.total_cycles);
+    EXPECT_GE(proposal.speedup(), 1.0) << name;
+    total_speedup += proposal.speedup();
+  }
+  EXPECT_GT(total_speedup / 5.0, 1.08) << "mean speedup over 5 benchmarks";
+}
+
+TEST(PaperClaims, MoreSequencesDetectedWithOptimization) {
+  // Figures 3/4: the optimized curves dominate — more distinct sequences
+  // above any threshold.
+  int o0_count = 0;
+  int o1_count = 0;
+  for (const auto& w : wl::suite()) {
+    const auto& p = prepared(w.name);
+    chain::DetectorOptions len2;
+    len2.min_length = 2;
+    len2.max_length = 2;
+    for (const auto& stat :
+         pipeline::analyze_level(p, opt::OptLevel::O0, len2).sequences) {
+      if (stat.frequency >= 1.0) ++o0_count;
+    }
+    for (const auto& stat :
+         pipeline::analyze_level(p, opt::OptLevel::O1, len2).sequences) {
+      if (stat.frequency >= 1.0) ++o1_count;
+    }
+  }
+  EXPECT_GT(o1_count, o0_count);
+}
+
+}  // namespace
+}  // namespace asipfb

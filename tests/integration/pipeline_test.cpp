@@ -1,0 +1,143 @@
+// Structural invariants of the end-to-end flow on every benchmark.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ir/verifier.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb {
+namespace {
+
+const pipeline::PreparedProgram& prepared(const std::string& name) {
+  static std::map<std::string, pipeline::PreparedProgram> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    const auto& w = wl::workload(name);
+    it = cache.emplace(name, pipeline::prepare(w.source, w.name, w.input)).first;
+  }
+  return it->second;
+}
+
+class PipelinePerWorkload : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PipelinePerWorkload, BaselineProfileIsConsistent) {
+  const auto& p = prepared(GetParam());
+  EXPECT_GT(p.total_cycles, 0u);
+  EXPECT_EQ(p.total_cycles, p.baseline_run.steps);
+  EXPECT_EQ(p.baseline_run.oob_loads, 0u)
+      << "unoptimized benchmarks must not read out of bounds";
+  EXPECT_EQ(p.total_cycles, p.module.total_dynamic_ops());
+}
+
+TEST_P(PipelinePerWorkload, AllLevelsVerify) {
+  const auto& p = prepared(GetParam());
+  for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+    const ir::Module variant = pipeline::optimized_variant(p, level);
+    EXPECT_TRUE(ir::verify(variant).empty())
+        << GetParam() << " at " << std::string(opt::to_string(level));
+  }
+}
+
+TEST_P(PipelinePerWorkload, DetectionSharesDenominatorAcrossLevels) {
+  const auto& p = prepared(GetParam());
+  const auto d0 = pipeline::analyze_level(p, opt::OptLevel::O0);
+  const auto d1 = pipeline::analyze_level(p, opt::OptLevel::O1);
+  const auto d2 = pipeline::analyze_level(p, opt::OptLevel::O2);
+  EXPECT_EQ(d0.total_cycles, p.total_cycles);
+  EXPECT_EQ(d1.total_cycles, p.total_cycles);
+  EXPECT_EQ(d2.total_cycles, p.total_cycles);
+}
+
+TEST_P(PipelinePerWorkload, SequencesDetectedAtOptimizedLevels) {
+  const auto& p = prepared(GetParam());
+  const auto d1 = pipeline::analyze_level(p, opt::OptLevel::O1);
+  EXPECT_FALSE(d1.sequences.empty()) << "every DSP kernel has chains";
+  EXPECT_GT(d1.regions, 0u);
+  EXPECT_GT(d1.paths, 0u);
+}
+
+TEST_P(PipelinePerWorkload, FrequenciesWithinBounds) {
+  const auto& p = prepared(GetParam());
+  for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+    const auto d = pipeline::analyze_level(p, level);
+    for (const auto& stat : d.sequences) {
+      EXPECT_GT(stat.frequency, 0.0);
+      EXPECT_LE(stat.frequency, 100.0);
+    }
+  }
+}
+
+TEST_P(PipelinePerWorkload, O0AdjacencyIsSubsetOfO1Regions) {
+  // Every sequence the no-scheduler analysis finds must also be reachable
+  // for the scheduled analysis at the same or higher frequency, because
+  // O1 edges are a superset (same weights after count-preserving unroll).
+  const auto& p = prepared(GetParam());
+  const auto d0 = pipeline::analyze_level(p, opt::OptLevel::O0);
+  const auto d1 = pipeline::analyze_level(p, opt::OptLevel::O1);
+  int regressions = 0;
+  for (const auto& stat : d0.sequences) {
+    if (d1.frequency_of(stat.signature) + 1e-6 < stat.frequency) ++regressions;
+  }
+  // Percolation can move an op past a copy barrier in rare shapes; allow a
+  // small number of per-signature regressions but no wholesale loss.
+  EXPECT_LE(regressions, static_cast<int>(d0.sequences.size() / 4 + 1));
+}
+
+TEST_P(PipelinePerWorkload, CoverageWellFormedAtAllLevels) {
+  const auto& p = prepared(GetParam());
+  for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1}) {
+    const auto cov = pipeline::coverage_at_level(p, level);
+    EXPECT_LE(cov.total_coverage, 100.0 + 1e-9);
+    for (const auto& step : cov.steps) {
+      EXPECT_GE(step.frequency, 4.0 - 1e-9) << "default floor";
+    }
+  }
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const auto& w : wl::suite()) names.push_back(w.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, PipelinePerWorkload,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(Pipeline, MissingMainRejected) {
+  pipeline::WorkloadInput empty;
+  EXPECT_THROW(pipeline::prepare("int f() { return 1; }", "nomain", empty),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, MultiDataSetProfilingAccumulates) {
+  const char* src = "int x[4]; int main() { return x[0] + x[1]; }";
+  pipeline::WorkloadInput a;
+  a.add("x", std::vector<std::int32_t>{1, 2, 0, 0});
+  pipeline::WorkloadInput b;
+  b.add("x", std::vector<std::int32_t>{30, 12, 0, 0});
+  const auto single = pipeline::prepare(src, "single", a);
+  const auto multi = pipeline::prepare_multi(src, "multi", {a, b});
+  EXPECT_EQ(multi.total_cycles, single.total_cycles * 2)
+      << "two straight-line runs accumulate double the counts";
+  EXPECT_EQ(multi.baseline_run.exit_code, 42) << "last data set's outcome";
+}
+
+TEST(Pipeline, MultiRequiresData) {
+  EXPECT_THROW(pipeline::prepare_multi("int main() { return 0; }", "m", {}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, ExecuteBindsInputs) {
+  pipeline::WorkloadInput input;
+  input.add("x", std::vector<std::int32_t>{40, 2});
+  auto p = pipeline::prepare("int x[2]; int main() { return x[0] + x[1]; }",
+                             "bind", input);
+  EXPECT_EQ(p.baseline_run.exit_code, 42);
+}
+
+}  // namespace
+}  // namespace asipfb

@@ -1,0 +1,98 @@
+#include "ir/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace asipfb::ir {
+namespace {
+
+TEST(Builder, EmitsIntoCurrentBlock) {
+  Function fn;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  b.set_insert_point(entry);
+  const Reg x = b.emit_movi(1);
+  const Reg y = b.emit_movi(2);
+  const Reg z = b.emit_binary(Opcode::Add, Type::I32, x, y);
+  b.emit_ret_value(z);
+  ASSERT_EQ(fn.blocks.size(), 1u);
+  EXPECT_EQ(fn.blocks[0].instrs.size(), 4u);
+  EXPECT_TRUE(b.block_terminated());
+}
+
+TEST(Builder, InstructionIdsUnique) {
+  Function fn;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  for (int i = 0; i < 10; ++i) b.emit_movi(i);
+  b.emit_ret();
+  std::set<InstrId> ids;
+  for (const auto& instr : fn.blocks[0].instrs) {
+    EXPECT_TRUE(ids.insert(instr.id).second);
+    EXPECT_EQ(instr.origin, instr.id);  // Fresh instructions are their own origin.
+  }
+}
+
+TEST(Builder, TypedHelpersAllocateCorrectTypes) {
+  Function fn;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  EXPECT_EQ(fn.type_of(b.emit_movi(0)), Type::I32);
+  EXPECT_EQ(fn.type_of(b.emit_movf(0.0f)), Type::F32);
+  EXPECT_EQ(fn.type_of(b.emit_addr_global(0)), Type::I32);
+  const Reg addr = b.emit_addr_local(0);
+  EXPECT_EQ(fn.type_of(b.emit_load(Type::F32, addr)), Type::F32);
+  EXPECT_EQ(fn.type_of(b.emit_load(Type::I32, addr)), Type::I32);
+}
+
+TEST(Builder, LoadStoreSelectFloatOpcodes) {
+  Function fn;
+  fn.frame_words = 4;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg addr = b.emit_addr_local(0);
+  const Reg fv = b.emit_movf(1.0f);
+  b.emit_store(Type::F32, addr, fv);
+  const Reg iv = b.emit_movi(1);
+  b.emit_store(Type::I32, addr, iv);
+  b.emit_ret();
+  const auto& instrs = fn.blocks[0].instrs;
+  EXPECT_EQ(instrs[2].op, Opcode::FStore);
+  EXPECT_EQ(instrs[4].op, Opcode::Store);
+}
+
+TEST(Builder, CopyPreservesType) {
+  Function fn;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg f = b.emit_movf(3.0f);
+  const Reg c = b.emit_copy(f);
+  EXPECT_EQ(fn.type_of(c), Type::F32);
+}
+
+TEST(Builder, MultipleBlocks) {
+  Function fn;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId next = b.create_block("next");
+  b.set_insert_point(entry);
+  b.emit_br(next);
+  b.set_insert_point(next);
+  EXPECT_FALSE(b.block_terminated());
+  b.emit_ret();
+  EXPECT_EQ(fn.blocks[0].terminator().target0, next);
+}
+
+TEST(Builder, IntrinsicEmission) {
+  Function fn;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg x = b.emit_movf(4.0f);
+  const Reg r = b.emit_intrin(IntrinsicKind::Sqrt, Type::F32, {x});
+  EXPECT_EQ(fn.type_of(r), Type::F32);
+  EXPECT_EQ(fn.blocks[0].instrs.back().intrinsic, IntrinsicKind::Sqrt);
+}
+
+}  // namespace
+}  // namespace asipfb::ir

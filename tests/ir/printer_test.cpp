@@ -1,0 +1,71 @@
+#include "ir/printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace asipfb::ir {
+namespace {
+
+TEST(Printer, ConstantsAndArithmetic) {
+  EXPECT_EQ(to_string(make::movi(Reg{0}, 42)), "r0 = movi 42");
+  EXPECT_EQ(to_string(make::binary(Opcode::Add, Reg{2}, Reg{0}, Reg{1})),
+            "r2 = add r0, r1");
+  EXPECT_EQ(to_string(make::unary(Opcode::Neg, Reg{1}, Reg{0})), "r1 = neg r0");
+}
+
+TEST(Printer, FloatConstant) {
+  const std::string out = to_string(make::movf(Reg{3}, 0.5f));
+  EXPECT_NE(out.find("r3 = movf 0.5"), std::string::npos);
+}
+
+TEST(Printer, GlobalNamesResolved) {
+  Module m;
+  m.globals.push_back(GlobalArray{"weights", Type::F32, 8, 0, {}});
+  const std::string out = to_string(make::addr_global(Reg{0}, 0), &m);
+  EXPECT_EQ(out, "r0 = addr_global @weights");
+}
+
+TEST(Printer, CallNamesResolved) {
+  Module m;
+  Function fn;
+  fn.name = "fft";
+  m.functions.push_back(fn);
+  const std::string out = to_string(make::call(std::nullopt, 0, {Reg{1}}), &m);
+  EXPECT_NE(out.find("@fft"), std::string::npos);
+}
+
+TEST(Printer, MalformedCondBrDoesNotCrash) {
+  Instr broken = make::cond_br(Reg{0}, 1, 2);
+  broken.args.clear();  // Simulate a transformation bug.
+  EXPECT_NE(to_string(broken).find("<noarg>"), std::string::npos);
+}
+
+TEST(Printer, FunctionListingHasBlocksAndSignature) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  const Reg p = fn.new_reg(Type::F32);
+  fn.params.push_back(p);
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  b.emit_ret_value(b.emit_movi(0));
+  const std::string out = to_string(fn);
+  EXPECT_NE(out.find("func f(r0: f32) -> i32"), std::string::npos);
+  EXPECT_NE(out.find("entry:"), std::string::npos);
+  EXPECT_NE(out.find("ret r"), std::string::npos);
+}
+
+TEST(Printer, ExecCountsShownWhenRequested) {
+  Function fn;
+  fn.name = "f";
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  b.emit_ret();
+  fn.blocks[0].instrs[0].exec_count = 99;
+  const std::string out = to_string(fn, nullptr, /*with_counts=*/true);
+  EXPECT_NE(out.find("x99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asipfb::ir

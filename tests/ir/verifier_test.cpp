@@ -1,0 +1,241 @@
+#include "ir/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+
+namespace asipfb::ir {
+namespace {
+
+/// Minimal valid module: int main() { return 0; }
+Module valid_module() {
+  Module m;
+  Function fn;
+  fn.name = "main";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  b.emit_ret_value(b.emit_movi(0));
+  m.functions.push_back(std::move(fn));
+  return m;
+}
+
+TEST(Verifier, AcceptsValidModule) {
+  const Module m = valid_module();
+  EXPECT_TRUE(verify(m).empty());
+  EXPECT_NO_THROW(verify_or_throw(m));
+}
+
+TEST(Verifier, RejectsEmptyFunction) {
+  Module m = valid_module();
+  m.functions[0].blocks.clear();
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Module m = valid_module();
+  m.functions[0].blocks.push_back(BasicBlock{"dangling", {}});
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Module m = valid_module();
+  m.functions[0].blocks[0].instrs.pop_back();  // Drop the ret.
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  auto& instrs = fn.blocks[0].instrs;
+  Instr extra = make::ret();
+  fn.assign_id(extra);
+  instrs.insert(instrs.begin(), extra);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsBranchOutOfRange) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  fn.blocks[0].instrs.back() = make::br(42);
+  fn.assign_id(fn.blocks[0].instrs.back());
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsWrongArity) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  Instr bad = make::binary(Opcode::Add, fn.new_reg(Type::I32), Reg{0}, Reg{0});
+  bad.args.pop_back();
+  fn.assign_id(bad);
+  auto& instrs = fn.blocks[0].instrs;
+  instrs.insert(instrs.end() - 1, bad);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsTypeMismatch) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  const Reg f = fn.new_reg(Type::F32);
+  const Reg i = fn.new_reg(Type::I32);
+  // fadd on an integer operand.
+  Instr mf = make::movf(f, 1.0f);
+  fn.assign_id(mf);
+  Instr mi = make::movi(i, 1);
+  fn.assign_id(mi);
+  Instr bad = make::binary(Opcode::FAdd, fn.new_reg(Type::F32), f, i);
+  fn.assign_id(bad);
+  auto& instrs = fn.blocks[0].instrs;
+  instrs.insert(instrs.end() - 1, mf);
+  instrs.insert(instrs.end() - 1, mi);
+  instrs.insert(instrs.end() - 1, bad);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsUndefinedRegisterUse) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  const Reg ghost = fn.new_reg(Type::I32);
+  Instr bad = make::unary(Opcode::Neg, fn.new_reg(Type::I32), ghost);
+  fn.assign_id(bad);
+  auto& instrs = fn.blocks[0].instrs;
+  instrs.insert(instrs.end() - 1, bad);
+  const auto errors = verify(m);
+  ASSERT_FALSE(errors.empty());
+  bool found = false;
+  for (const auto& e : errors) {
+    if (e.find("possibly-undefined") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Verifier, AcceptsDefinitionOnAllPaths) {
+  // if (p) x = 1; else x = 2; use x;  -- defined on both paths.
+  Module m;
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  const Reg x = fn.new_reg(Type::I32);
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId then_b = b.create_block("then");
+  const BlockId else_b = b.create_block("else");
+  const BlockId merge = b.create_block("merge");
+  b.set_insert_point(entry);
+  b.emit_cond_br(p, then_b, else_b);
+  b.set_insert_point(then_b);
+  b.emit(make::movi(x, 1));
+  b.emit_br(merge);
+  b.set_insert_point(else_b);
+  b.emit(make::movi(x, 2));
+  b.emit_br(merge);
+  b.set_insert_point(merge);
+  b.emit_ret_value(x);
+  m.functions.push_back(std::move(fn));
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsDefinitionOnOnePathOnly) {
+  // if (p) x = 1; use x;  -- undefined when p is false.
+  Module m;
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  const Reg x = fn.new_reg(Type::I32);
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId then_b = b.create_block("then");
+  const BlockId merge = b.create_block("merge");
+  b.set_insert_point(entry);
+  b.emit_cond_br(p, then_b, merge);
+  b.set_insert_point(then_b);
+  b.emit(make::movi(x, 1));
+  b.emit_br(merge);
+  b.set_insert_point(merge);
+  b.emit_ret_value(x);
+  m.functions.push_back(std::move(fn));
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsDuplicateInstrIds) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  Instr dup = make::movi(fn.new_reg(Type::I32), 3);
+  dup.id = fn.blocks[0].instrs[0].id;  // Collide.
+  dup.origin = dup.id;
+  auto& instrs = fn.blocks[0].instrs;
+  instrs.insert(instrs.end() - 1, dup);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsGlobalIndexOutOfRange) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  Instr bad = make::addr_global(fn.new_reg(Type::I32), 5);  // No globals exist.
+  fn.assign_id(bad);
+  auto& instrs = fn.blocks[0].instrs;
+  instrs.insert(instrs.end() - 1, bad);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsCallArgumentMismatch) {
+  Module m = valid_module();
+  Function callee;
+  callee.name = "g";
+  callee.return_type = Type::Void;
+  callee.params.push_back(callee.new_reg(Type::I32));
+  Builder cb(callee);
+  cb.set_insert_point(cb.create_block("entry"));
+  cb.emit_ret();
+  m.functions.push_back(std::move(callee));
+
+  auto& fn = m.functions[0];
+  Instr bad = make::call(std::nullopt, 1, {});  // Needs one argument.
+  fn.assign_id(bad);
+  auto& instrs = fn.blocks[0].instrs;
+  instrs.insert(instrs.end() - 1, bad);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsVoidCallResultCapture) {
+  Module m = valid_module();
+  Function callee;
+  callee.name = "g";
+  callee.return_type = Type::Void;
+  Builder cb(callee);
+  cb.set_insert_point(cb.create_block("entry"));
+  cb.emit_ret();
+  m.functions.push_back(std::move(callee));
+
+  auto& fn = m.functions[0];
+  Instr bad = make::call(fn.new_reg(Type::I32), 1, {});
+  fn.assign_id(bad);
+  auto& instrs = fn.blocks[0].instrs;
+  instrs.insert(instrs.end() - 1, bad);
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, RejectsReturnTypeMismatch) {
+  Module m = valid_module();
+  auto& fn = m.functions[0];
+  fn.return_type = Type::Void;  // But ret carries a value.
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Verifier, ThrowListsFunctionName) {
+  Module m = valid_module();
+  m.functions[0].blocks[0].instrs.pop_back();
+  try {
+    verify_or_throw(m);
+    FAIL() << "expected logic_error";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("main"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace asipfb::ir

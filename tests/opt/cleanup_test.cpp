@@ -1,0 +1,263 @@
+#include "opt/cleanup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+#include "sim/machine.hpp"
+
+namespace asipfb::opt {
+namespace {
+
+using ir::BlockId;
+using ir::Builder;
+using ir::Function;
+using ir::Opcode;
+using ir::Reg;
+using ir::Type;
+
+int count_ops(const Function& fn, Opcode op) {
+  int n = 0;
+  for (const auto& block : fn.blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.op == op) ++n;
+    }
+  }
+  return n;
+}
+
+TEST(Lvn, DuplicatePureOpsBecomeCopies) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg x = b.emit_movi(3);
+  const Reg y = b.emit_movi(4);
+  const Reg s1 = b.emit_binary(Opcode::Add, Type::I32, x, y);
+  const Reg s2 = b.emit_binary(Opcode::Add, Type::I32, x, y);  // Duplicate.
+  const Reg t = b.emit_binary(Opcode::Mul, Type::I32, s1, s2);
+  b.emit_ret_value(t);
+
+  const int rewritten = local_value_numbering(fn);
+  EXPECT_EQ(rewritten, 1);
+  EXPECT_EQ(count_ops(fn, Opcode::Add), 1);
+  EXPECT_EQ(count_ops(fn, Opcode::Copy), 1);
+}
+
+TEST(Lvn, CommutativeOperandsMatch) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg x = b.emit_movi(3);
+  const Reg y = b.emit_movi(4);
+  const Reg s1 = b.emit_binary(Opcode::Add, Type::I32, x, y);
+  const Reg s2 = b.emit_binary(Opcode::Add, Type::I32, y, x);  // Commuted dup.
+  const Reg t = b.emit_binary(Opcode::Mul, Type::I32, s1, s2);
+  b.emit_ret_value(t);
+  EXPECT_EQ(local_value_numbering(fn), 1);
+}
+
+TEST(Lvn, NonCommutativeOperandsDoNotMatch) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg x = b.emit_movi(3);
+  const Reg y = b.emit_movi(4);
+  const Reg s1 = b.emit_binary(Opcode::Sub, Type::I32, x, y);
+  const Reg s2 = b.emit_binary(Opcode::Sub, Type::I32, y, x);
+  const Reg t = b.emit_binary(Opcode::Mul, Type::I32, s1, s2);
+  b.emit_ret_value(t);
+  EXPECT_EQ(local_value_numbering(fn), 0);
+}
+
+TEST(Lvn, RedefinitionInvalidatesValue) {
+  // x = movi 3; a = add x, x; x = movi 5; b = add x, x  -- b != a.
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg x = fn.new_reg(Type::I32);
+  b.emit(ir::make::movi(x, 3));
+  const Reg a = b.emit_binary(Opcode::Add, Type::I32, x, x);
+  b.emit(ir::make::movi(x, 5));
+  const Reg c = b.emit_binary(Opcode::Add, Type::I32, x, x);
+  const Reg t = b.emit_binary(Opcode::Mul, Type::I32, a, c);
+  b.emit_ret_value(t);
+  EXPECT_EQ(local_value_numbering(fn), 0);
+  EXPECT_EQ(count_ops(fn, Opcode::Add), 2);
+}
+
+TEST(Lvn, LoadsNeverCsed) {
+  ir::Module m = fe::compile_benchc(
+      "int a[2]; int main() { return a[0] + a[0]; }", "loads");
+  const int before = count_ops(m.functions[0], Opcode::Load);
+  local_value_numbering(m.functions[0]);
+  EXPECT_EQ(count_ops(m.functions[0], Opcode::Load), before);
+}
+
+TEST(Lvn, ConstantsDeduplicated) {
+  ir::Module m = fe::compile_benchc(
+      "int main() { int a = 5 * 3; int b = 7 * 3; return a + b; }", "consts");
+  // Two `movi 3` exist before LVN; afterwards one becomes a copy.
+  local_value_numbering(m.functions[0]);
+  dead_code_elimination(m.functions[0]);
+  int movi3 = 0;
+  for (const auto& block : m.functions[0].blocks) {
+    for (const auto& instr : block.instrs) {
+      if (instr.op == Opcode::MovI && instr.imm_i == 3) ++movi3;
+    }
+  }
+  EXPECT_EQ(movi3, 1);
+}
+
+TEST(Dce, RemovesUnusedPureOps) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  b.emit_movi(999);  // Dead.
+  const Reg x = b.emit_movi(7);
+  b.emit_ret_value(x);
+  EXPECT_EQ(dead_code_elimination(fn), 1);
+  EXPECT_EQ(count_ops(fn, Opcode::MovI), 1);
+}
+
+TEST(Dce, CascadingRemoval) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg a = b.emit_movi(1);
+  const Reg c = b.emit_binary(Opcode::Add, Type::I32, a, a);  // Dead chain head.
+  b.emit_unary(Opcode::Neg, Type::I32, c);                    // Dead chain tail.
+  const Reg r = b.emit_movi(0);
+  b.emit_ret_value(r);
+  EXPECT_EQ(dead_code_elimination(fn), 3);
+}
+
+TEST(Dce, StoresNeverRemoved) {
+  ir::Module m = fe::compile_benchc("int g; int main() { g = 5; return 0; }", "st");
+  dead_code_elimination(m.functions[0]);
+  EXPECT_EQ(count_ops(m.functions[0], Opcode::Store), 1);
+}
+
+TEST(Dce, UnusedLoadsRemoved) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  fn.frame_words = 1;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const Reg addr = b.emit_addr_local(0);
+  b.emit_load(Type::I32, addr);  // Result unused.
+  const Reg r = b.emit_movi(0);
+  b.emit_ret_value(r);
+  EXPECT_EQ(dead_code_elimination(fn), 2);  // Load then its address.
+}
+
+TEST(SimplifyCfg, MergesLinearChains) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId mid = b.create_block("mid");
+  const BlockId tail = b.create_block("tail");
+  b.set_insert_point(entry);
+  const Reg x = b.emit_movi(1);
+  b.emit_br(mid);
+  b.set_insert_point(mid);
+  const Reg y = b.emit_binary(Opcode::Add, Type::I32, x, x);
+  b.emit_br(tail);
+  b.set_insert_point(tail);
+  b.emit_ret_value(y);
+
+  simplify_cfg(fn);
+  EXPECT_EQ(fn.blocks.size(), 1u);
+  EXPECT_EQ(fn.blocks[0].terminator().op, Opcode::Ret);
+}
+
+TEST(SimplifyCfg, ForwardsThroughTrivialBlocks) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  const Reg p = fn.new_reg(Type::I32);
+  fn.params.push_back(p);
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId hopA = b.create_block("hopA");
+  const BlockId hopB = b.create_block("hopB");
+  const BlockId target = b.create_block("target");
+  const BlockId other = b.create_block("other");
+  b.set_insert_point(entry);
+  b.emit_cond_br(p, hopA, other);
+  b.set_insert_point(hopA);
+  b.emit_br(hopB);
+  b.set_insert_point(hopB);
+  b.emit_br(target);
+  b.set_insert_point(target);
+  b.emit_ret_value(p);
+  b.set_insert_point(other);
+  b.emit_ret_value(p);
+
+  simplify_cfg(fn);
+  // The hop blocks are gone; entry branches straight to the two rets.
+  EXPECT_EQ(fn.blocks.size(), 3u);
+}
+
+TEST(SimplifyCfg, RemovesUnreachableBlocks) {
+  Function fn;
+  fn.name = "f";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const BlockId entry = b.create_block("entry");
+  const BlockId dead = b.create_block("dead");
+  b.set_insert_point(entry);
+  b.emit_ret_value(b.emit_movi(1));
+  b.set_insert_point(dead);
+  b.emit_ret_value(b.emit_movi(2));
+  EXPECT_GT(simplify_cfg(fn), 0);
+  EXPECT_EQ(fn.blocks.size(), 1u);
+}
+
+TEST(SimplifyCfg, InfiniteSelfLoopPreserved) {
+  ir::Module m = fe::compile_benchc(
+      "int main() { int i = 0; while (i < 5) { i++; } while (1) { } return i; }",
+      "inf");
+  // Must not hang or corrupt the CFG.
+  simplify_cfg(m.functions[0]);
+  EXPECT_TRUE(ir::verify(m).empty());
+}
+
+TEST(Canonicalize, PreservesSemantics) {
+  const char* src = R"(
+    int a[6] = {5, 3, 8, 1, 9, 2};
+    int main() {
+      int best = a[0];
+      int i;
+      for (i = 1; i < 6; i++) {
+        if (a[i] > best) best = a[i];
+      }
+      return best * 24 + a[0] * 3;
+    })";
+  ir::Module raw = fe::compile_benchc(src, "c1");
+  ir::Module cleaned = fe::compile_benchc(src, "c2");
+  canonicalize(cleaned);
+  EXPECT_TRUE(ir::verify(cleaned).empty());
+  sim::Machine m1(raw);
+  sim::Machine m2(cleaned);
+  EXPECT_EQ(m1.run().exit_code, m2.run().exit_code);
+  EXPECT_LE(cleaned.instr_count(), raw.instr_count());
+}
+
+}  // namespace
+}  // namespace asipfb::opt

@@ -1,0 +1,119 @@
+#include "opt/ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.hpp"
+#include "opt/cleanup.hpp"
+#include "opt/optimizer.hpp"
+#include "sim/machine.hpp"
+
+namespace asipfb::opt {
+namespace {
+
+ir::Module prepared(std::string_view src) {
+  auto m = fe::compile_benchc(src, "ilp");
+  canonicalize(m);
+  sim::profile_run(m);
+  return m;
+}
+
+TEST(Ilp, WidthOneMatchesOpCount) {
+  auto m = prepared("int main() { int a = 1; int b = 2; return a + b; }");
+  const auto r = measure_ilp(m, 1);
+  EXPECT_EQ(r.dynamic_cycles, r.dynamic_ops);
+  EXPECT_DOUBLE_EQ(r.ops_per_cycle, 1.0);
+}
+
+TEST(Ilp, IndependentOpsBenefitFromWidth) {
+  // Eight independent constants then a reduction tree.
+  auto m = prepared(R"(
+    int main() {
+      int a = 1; int b = 2; int c = 3; int d = 4;
+      int e = 5; int f = 6; int g = 7; int h = 8;
+      return ((a + b) + (c + d)) + ((e + f) + (g + h));
+    })");
+  const auto w1 = measure_ilp(m, 1);
+  const auto w4 = measure_ilp(m, 4);
+  EXPECT_LT(w4.dynamic_cycles, w1.dynamic_cycles);
+  EXPECT_GT(w4.ops_per_cycle, 1.0);
+}
+
+TEST(Ilp, SerialDependenceChainDoesNotScale) {
+  auto m = prepared(R"(
+    int main() {
+      int x = 1;
+      x = x * 3; x = x * 3; x = x * 3; x = x * 3;
+      x = x * 3; x = x * 3; x = x * 3; x = x * 3;
+      return x;
+    })");
+  const auto w2 = measure_ilp(m, 2);
+  const auto w8 = measure_ilp(m, 8);
+  // A true dependence chain gains nothing past small constant effects.
+  EXPECT_NEAR(static_cast<double>(w8.dynamic_cycles),
+              static_cast<double>(w2.dynamic_cycles),
+              static_cast<double>(w2.dynamic_cycles) * 0.1);
+}
+
+TEST(Ilp, WiderNeverSlower) {
+  auto m = prepared(R"(
+    int x[32];
+    int main() {
+      int i;
+      for (i = 0; i < 32; i++) x[i] = i * 3 + 1;
+      int s = 0;
+      for (i = 0; i < 32; i++) s += x[i];
+      return s;
+    })");
+  std::uint64_t previous = UINT64_MAX;
+  for (int width : {1, 2, 4, 8}) {
+    const auto r = measure_ilp(m, width);
+    EXPECT_LE(r.dynamic_cycles, previous) << "width " << width;
+    previous = r.dynamic_cycles;
+  }
+}
+
+TEST(Ilp, RenamingImprovesIlp) {
+  // The paper's motivation for renaming: more parallelism.  Measured at
+  // width 8 after O1 vs O2.
+  const char* src = R"(
+    float x[64];
+    float y[64];
+    int main() {
+      int i;
+      for (i = 0; i < 64; i++) x[i] = i * 0.25;
+      for (i = 1; i < 63; i++) y[i] = x[i-1] * 0.5 + x[i] * 0.25 + x[i+1] * 0.125;
+      float s = 0.0;
+      for (i = 0; i < 64; i++) s += y[i];
+      return (int)s;
+    })";
+  auto m1 = prepared(src);
+  auto m2 = prepared(src);
+  optimize(m1, OptLevel::O1);
+  optimize(m2, OptLevel::O2);
+  const auto ilp1 = measure_ilp(m1, 8);
+  const auto ilp2 = measure_ilp(m2, 8);
+  EXPECT_GE(ilp2.ops_per_cycle, ilp1.ops_per_cycle * 0.95)
+      << "renaming must not materially hurt ILP";
+}
+
+TEST(Ilp, StoresSerializeMemory) {
+  auto m = prepared(R"(
+    int a[4];
+    int main() {
+      a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;
+      return a[0];
+    })");
+  const auto wide = measure_ilp(m, 16);
+  // Four stores cannot share a cycle: at least 4 memory cycles.
+  EXPECT_GE(wide.dynamic_cycles, 4u);
+}
+
+TEST(Ilp, ZeroCountBlocksIgnored) {
+  auto m = prepared("int main() { int x = 1; if (x == 0) return 99; return x; }");
+  const auto r = measure_ilp(m, 2);
+  EXPECT_GT(r.dynamic_cycles, 0u);
+  EXPECT_GT(r.ops_per_cycle, 0.0);
+}
+
+}  // namespace
+}  // namespace asipfb::opt

@@ -1,0 +1,125 @@
+#include "opt/rename.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "frontend/compile.hpp"
+#include "ir/verifier.hpp"
+#include "opt/cleanup.hpp"
+#include "sim/machine.hpp"
+
+namespace asipfb::opt {
+namespace {
+
+ir::Module prepared(std::string_view src) {
+  auto m = fe::compile_benchc(src, "rename");
+  canonicalize(m);
+  sim::profile_run(m);
+  return m;
+}
+
+TEST(Rename, EveryBlockLocalDefGetsFreshRegister) {
+  auto m = prepared("int main() { int x = 1; x = x + 2; x = x * 3; return x; }");
+  auto& fn = m.functions[0];
+  rename_registers(fn);
+  // After renaming, no register is defined twice within a block.
+  for (const auto& block : fn.blocks) {
+    std::set<std::uint32_t> defs;
+    for (const auto& instr : block.instrs) {
+      if (instr.dst) {
+        EXPECT_TRUE(defs.insert(instr.dst->id).second)
+            << "register defined twice in one block after renaming";
+      }
+    }
+  }
+  EXPECT_TRUE(ir::verify(m).empty());
+}
+
+TEST(Rename, SemanticsPreservedStraightLine) {
+  auto m = prepared("int main() { int x = 1; x = x + 2; x = x * 3; return x; }");
+  rename_registers(m.functions[0]);
+  sim::Machine machine(m);
+  EXPECT_EQ(machine.run().exit_code, 9);
+}
+
+TEST(Rename, SemanticsPreservedAcrossLoop) {
+  auto m = prepared(
+      "int main() { int s = 0; int i; for (i = 0; i < 10; i++) s += i; return s; }");
+  rename_registers(m.functions[0]);
+  EXPECT_TRUE(ir::verify(m).empty());
+  sim::Machine machine(m);
+  EXPECT_EQ(machine.run().exit_code, 45);
+}
+
+TEST(Rename, SemanticsPreservedWithBranches) {
+  auto m = prepared(R"(
+    int main() {
+      int s = 0;
+      int i;
+      for (i = 0; i < 20; i++) {
+        if (i % 2 == 0) s += i;
+        else s -= 1;
+      }
+      return s;
+    })");
+  rename_registers(m.functions[0]);
+  sim::Machine machine(m);
+  EXPECT_EQ(machine.run().exit_code, 90 - 10);
+}
+
+TEST(Rename, RepairCopiesOnlyForLiveOutValues) {
+  // x is live out of its defining block (used after the if); t is not.
+  auto m = prepared(R"(
+    int main() {
+      int x = 5;
+      int t = x * 2;
+      if (t > 5) { x = t; }
+      return x;
+    })");
+  auto& fn = m.functions[0];
+  const int copies = rename_registers(fn);
+  EXPECT_GT(copies, 0);
+  EXPECT_TRUE(ir::verify(m).empty());
+  sim::Machine machine(m);
+  EXPECT_EQ(machine.run().exit_code, 10);
+}
+
+TEST(Rename, CopiesCarryBlockExecutionCounts) {
+  auto m = prepared(
+      "int main() { int s = 0; int i; for (i = 0; i < 8; i++) s += i; return s; }");
+  auto& fn = m.functions[0];
+  rename_registers(fn);
+  for (const auto& block : fn.blocks) {
+    const std::uint64_t block_count = block.exec_count();
+    for (const auto& instr : block.instrs) {
+      if (instr.op == ir::Opcode::Copy) {
+        EXPECT_EQ(instr.exec_count, block_count);
+      }
+    }
+  }
+}
+
+TEST(Rename, WorkloadSemanticsUnchanged) {
+  // A float workload with memory traffic.
+  auto m = prepared(R"(
+    float x[16];
+    float y[16];
+    int main() {
+      int i;
+      for (i = 0; i < 16; i++) x[i] = i * 0.5;
+      for (i = 1; i < 15; i++) y[i] = (x[i-1] + x[i] + x[i+1]) / 3.0;
+      float s = 0.0;
+      for (i = 0; i < 16; i++) s += y[i];
+      return (int)(s * 100.0);
+    })");
+  ir::Module reference = m;  // Value copy before renaming.
+  for (auto& fn : m.functions) rename_registers(fn);
+  EXPECT_TRUE(ir::verify(m).empty());
+  sim::Machine m1(reference);
+  sim::Machine m2(m);
+  EXPECT_EQ(m1.run().exit_code, m2.run().exit_code);
+}
+
+}  // namespace
+}  // namespace asipfb::opt

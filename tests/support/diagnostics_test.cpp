@@ -1,0 +1,43 @@
+#include "support/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asipfb {
+namespace {
+
+TEST(Diagnostics, EmptyEngineHasNoErrors) {
+  DiagnosticEngine engine;
+  EXPECT_FALSE(engine.has_errors());
+  EXPECT_NO_THROW(engine.check());
+}
+
+TEST(Diagnostics, ErrorRecorded) {
+  DiagnosticEngine engine;
+  engine.error({3, 7}, "bad token");
+  ASSERT_TRUE(engine.has_errors());
+  ASSERT_EQ(engine.diagnostics().size(), 1u);
+  EXPECT_EQ(engine.diagnostics()[0].loc.line, 3);
+  EXPECT_EQ(engine.diagnostics()[0].loc.column, 7);
+}
+
+TEST(Diagnostics, CheckThrowsWithAllMessages) {
+  DiagnosticEngine engine;
+  engine.error({1, 1}, "first");
+  engine.error({2, 5}, "second");
+  try {
+    engine.check();
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1:1: first"), std::string::npos);
+    EXPECT_NE(what.find("2:5: second"), std::string::npos);
+    EXPECT_EQ(e.diagnostics().size(), 2u);
+  }
+}
+
+TEST(Diagnostics, SourceLocToString) {
+  EXPECT_EQ((SourceLoc{12, 34}.to_string()), "12:34");
+}
+
+}  // namespace
+}  // namespace asipfb

@@ -1,0 +1,102 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace asipfb {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedRemapped) {
+  Rng a(0);
+  EXPECT_NE(a.next_u64(), 0u);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int32_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // All values hit over 2000 draws.
+}
+
+TEST(Rng, UnitFloatInHalfOpenRange) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const float v = rng.next_unit_float();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, FloatRangeRespected) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.next_float(-2.5f, 4.5f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 4.5f);
+  }
+}
+
+TEST(Rng, FloatArraySizeAndDeterminism) {
+  Rng a(99);
+  Rng b(99);
+  const auto va = a.float_array(50, -1.0f, 1.0f);
+  const auto vb = b.float_array(50, -1.0f, 1.0f);
+  ASSERT_EQ(va.size(), 50u);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(Rng, IntArrayValuesInRange) {
+  Rng rng(5);
+  const auto v = rng.int_array(200, -128, 127);
+  ASSERT_EQ(v.size(), 200u);
+  for (auto x : v) {
+    EXPECT_GE(x, -128);
+    EXPECT_LE(x, 127);
+  }
+}
+
+TEST(Rng, Image8PixelsAreBytes) {
+  Rng rng(6);
+  const auto img = rng.image8(24, 24);
+  ASSERT_EQ(img.size(), 576u);
+  for (auto p : img) {
+    EXPECT_GE(p, 0);
+    EXPECT_LE(p, 255);
+  }
+}
+
+}  // namespace
+}  // namespace asipfb

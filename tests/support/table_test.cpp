@@ -1,0 +1,49 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace asipfb {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NO_THROW(table.render());
+}
+
+TEST(TextTable, WideRowRejected) {
+  TextTable table({"only"});
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, SeparatorUnderHeader) {
+  TextTable table({"h"});
+  table.add_row({"v"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(FormatPercent, TwoDecimals) {
+  EXPECT_EQ(format_percent(8.333), "8.33%");
+  EXPECT_EQ(format_percent(0.0), "0.00%");
+  EXPECT_EQ(format_percent(100.0), "100.00%");
+}
+
+TEST(FormatFixed, RespectsDecimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace asipfb
