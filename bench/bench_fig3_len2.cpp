@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "pipeline/batch.hpp"
 
 namespace {
 
@@ -22,18 +23,22 @@ void print_figure3() {
 
 void BM_DetectLen2(benchmark::State& state) {
   const auto level = static_cast<opt::OptLevel>(state.range(0));
-  // Pre-warm the prepared cache so the timer measures optimization+detection.
+  // Pre-warm the prepared cache so the timer measures the batched
+  // optimization+detection fan-out (including its thread-pool overhead) —
+  // the path every suite-wide caller now takes — not compilation.
   for (const auto& w : wl::suite()) bench::prepared_workload(w.name);
-  chain::DetectorOptions options;
-  options.min_length = 2;
-  options.max_length = 2;
+  pipeline::BatchOptions options;
+  options.levels = {level};
+  options.detector.min_length = 2;
+  options.detector.max_length = 2;
   for (auto _ : state) {
-    std::size_t total = 0;
-    for (const auto& w : wl::suite()) {
-      const auto result =
-          pipeline::analyze_level(bench::prepared_workload(w.name), level, options);
-      total += result.sequences.size();
+    const auto batch = pipeline::run_suite(options);
+    if (batch.failures() != 0) {
+      state.SkipWithError("batch analysis failed for some workloads");
+      break;
     }
+    std::size_t total = 0;
+    for (const auto& entry : batch.entries) total += entry.result.sequences.size();
     benchmark::DoNotOptimize(total);
   }
   state.SetLabel(std::string(opt::to_string(level)));

@@ -2,33 +2,40 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
+#include "pipeline/batch.hpp"
 #include "support/table.hpp"
 
 namespace asipfb::bench {
 
 const pipeline::PreparedProgram& prepared_workload(const std::string& name) {
-  static std::map<std::string, pipeline::PreparedProgram> cache;
-  auto it = cache.find(name);
-  if (it == cache.end()) {
-    const auto& w = wl::workload(name);
-    it = cache.emplace(name, pipeline::prepare(w.source, w.name, w.input)).first;
-  }
-  return it->second;
+  return pipeline::PreparedCache::instance().get(name);
 }
 
 namespace {
 
-/// Per-(workload, level) detection cache; detection is deterministic.
-const chain::DetectionResult& detection(const std::string& name, opt::OptLevel level) {
-  static std::map<std::pair<std::string, int>, chain::DetectionResult> cache;
-  const auto key = std::make_pair(name, static_cast<int>(level));
+/// Default-option detection for the whole suite at one level, computed once
+/// per level by the parallel batch runner (detection is deterministic).
+const pipeline::BatchResult& suite_batch(opt::OptLevel level) {
+  static std::map<int, pipeline::BatchResult> cache;
+  const int key = static_cast<int>(level);
   auto it = cache.find(key);
   if (it == cache.end()) {
-    it = cache.emplace(key, pipeline::analyze_level(prepared_workload(name), level))
-             .first;
+    pipeline::BatchOptions options;
+    options.levels = {level};
+    it = cache.emplace(key, pipeline::run_suite(options)).first;
   }
   return it->second;
+}
+
+const chain::DetectionResult& detection(const std::string& name, opt::OptLevel level) {
+  const auto* entry = suite_batch(level).find(name, level);
+  if (entry == nullptr || !entry->ok()) {
+    throw std::runtime_error("batch analysis failed for " + name +
+                             (entry != nullptr ? ": " + entry->error : ""));
+  }
+  return entry->result;
 }
 
 }  // namespace

@@ -6,13 +6,19 @@ namespace asipfb::ir {
 
 namespace {
 
-std::string reg_name(Reg r) { return "r" + std::to_string(r.id); }
+std::string reg_name(Reg r) {
+  std::string out = "r";
+  out += std::to_string(r.id);
+  return out;
+}
 
 std::string block_name(const Function* fn, BlockId id) {
   if (fn != nullptr && id < fn->blocks.size() && !fn->blocks[id].name.empty()) {
     return fn->blocks[id].name;
   }
-  return "bb" + std::to_string(id);
+  std::string out = "bb";
+  out += std::to_string(id);
+  return out;
 }
 
 std::string float_literal(float v) {
@@ -31,22 +37,27 @@ std::string instr_text(const Instr& instr, const Function* fn, const Module* mod
 
   switch (instr.op) {
     case Opcode::MovI:
-      out += " " + std::to_string(instr.imm_i);
+      out += ' ';
+      out += std::to_string(instr.imm_i);
       return out;
     case Opcode::MovF:
-      out += " " + float_literal(instr.imm_f);
+      out += ' ';
+      out += float_literal(instr.imm_f);
       return out;
     case Opcode::AddrGlobal:
       if (module != nullptr &&
           instr.imm_i >= 0 &&
           static_cast<std::size_t>(instr.imm_i) < module->globals.size()) {
-        out += " @" + module->globals[static_cast<std::size_t>(instr.imm_i)].name;
+        out += " @";
+        out += module->globals[static_cast<std::size_t>(instr.imm_i)].name;
       } else {
-        out += " @g" + std::to_string(instr.imm_i);
+        out += " @g";
+        out += std::to_string(instr.imm_i);
       }
       return out;
     case Opcode::AddrLocal:
-      out += " frame+" + std::to_string(instr.imm_i);
+      out += " frame+";
+      out += std::to_string(instr.imm_i);
       return out;
     case Opcode::Intrin:
       out += " ";
@@ -54,17 +65,24 @@ std::string instr_text(const Instr& instr, const Function* fn, const Module* mod
       break;
     case Opcode::Call:
       if (module != nullptr && instr.callee < module->functions.size()) {
-        out += " @" + module->functions[instr.callee].name;
+        out += " @";
+        out += module->functions[instr.callee].name;
       } else {
-        out += " @f" + std::to_string(instr.callee);
+        out += " @f";
+        out += std::to_string(instr.callee);
       }
       break;
     case Opcode::Br:
-      out += " " + block_name(fn, instr.target0);
+      out += ' ';
+      out += block_name(fn, instr.target0);
       return out;
     case Opcode::CondBr:
-      out += " " + (instr.args.empty() ? std::string("<noarg>") : reg_name(instr.args[0])) +
-             ", " + block_name(fn, instr.target0) + ", " + block_name(fn, instr.target1);
+      out += ' ';
+      out += instr.args.empty() ? std::string("<noarg>") : reg_name(instr.args[0]);
+      out += ", ";
+      out += block_name(fn, instr.target0);
+      out += ", ";
+      out += block_name(fn, instr.target1);
       return out;
     default:
       break;
@@ -88,7 +106,9 @@ std::string to_string(const Instr& instr, const Module* module) {
 }
 
 std::string to_string(const Function& fn, const Module* module, bool with_counts) {
-  std::string out = "func " + fn.name + "(";
+  std::string out = "func ";
+  out += fn.name;
+  out += "(";
   for (std::size_t i = 0; i < fn.params.size(); ++i) {
     if (i != 0) out += ", ";
     out += reg_name(fn.params[i]);
@@ -100,12 +120,19 @@ std::string to_string(const Function& fn, const Module* module, bool with_counts
   out += " {\n";
   for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
     const auto& block = fn.blocks[b];
-    out += block.name.empty() ? "bb" + std::to_string(b) : block.name;
+    if (block.name.empty()) {
+      out += "bb";
+      out += std::to_string(b);
+    } else {
+      out += block.name;
+    }
     out += ":\n";
     for (const auto& instr : block.instrs) {
-      out += "  " + instr_text(instr, &fn, module);
+      out += "  ";
+      out += instr_text(instr, &fn, module);
       if (with_counts) {
-        out += "    ; x" + std::to_string(instr.exec_count);
+        out += "    ; x";
+        out += std::to_string(instr.exec_count);
       }
       out += "\n";
     }
@@ -115,13 +142,23 @@ std::string to_string(const Function& fn, const Module* module, bool with_counts
 }
 
 std::string to_string(const Module& module, bool with_counts) {
-  std::string out = "module " + module.name + "\n";
+  std::string out = "module ";
+  out += module.name;
+  out += "\n";
   for (const auto& g : module.globals) {
-    out += "global " + g.name + ": " + std::string(to_string(g.elem_type)) + "[" +
-           std::to_string(g.size) + "] @" + std::to_string(g.base_address) + "\n";
+    out += "global ";
+    out += g.name;
+    out += ": ";
+    out += to_string(g.elem_type);
+    out += "[";
+    out += std::to_string(g.size);
+    out += "] @";
+    out += std::to_string(g.base_address);
+    out += "\n";
   }
   for (const auto& fn : module.functions) {
-    out += "\n" + to_string(fn, &module, with_counts);
+    out += '\n';
+    out += to_string(fn, &module, with_counts);
   }
   return out;
 }

@@ -1,0 +1,175 @@
+#include "pipeline/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "workloads/suite.hpp"
+
+namespace asipfb::pipeline {
+
+PreparedCache::Entry& PreparedCache::entry_for(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_[key];
+}
+
+const PreparedProgram& PreparedCache::get(const std::string& key,
+                                          std::string_view source,
+                                          const WorkloadInput& input) {
+  Entry& entry = entry_for(key);
+  // call_once serializes concurrent preparations of the same key.  Failures
+  // are caught and latched so an expensive failing prepare() runs once, not
+  // once per (workload, level) task.
+  std::call_once(entry.once, [&] {
+    entry.source = std::string(source);  // bind key to source even on failure
+    try {
+      entry.program = prepare(source, key, input);
+      entry.ready.store(true, std::memory_order_release);
+    } catch (const std::exception& ex) {
+      entry.error = ex.what();
+    } catch (...) {
+      entry.error = "preparation failed";
+    }
+  });
+  // Mismatch first, so a latched failure is never misattributed to a
+  // different source.  The content comparison is memcmp-cheap next to the
+  // prepare/analyze work this cache fronts.
+  if (entry.source != source) {
+    throw std::invalid_argument("PreparedCache key '" + key +
+                                "' already bound to a different source");
+  }
+  if (!entry.program.has_value()) {
+    throw std::runtime_error(entry.error);
+  }
+  return *entry.program;
+}
+
+const PreparedProgram& PreparedCache::get(const std::string& workload_name) {
+  const auto& w = wl::workload(workload_name);
+  return get(w.name, w.source, w.input);
+}
+
+std::size_t PreparedCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // `ready` (not `program`) is read here: a call_once writer may be filling
+  // `program` concurrently, and the atomic is the published-completion flag.
+  return static_cast<std::size_t>(std::count_if(
+      entries_.begin(), entries_.end(), [](const auto& kv) {
+        return kv.second.ready.load(std::memory_order_acquire);
+      }));
+}
+
+PreparedCache& PreparedCache::instance() {
+  static PreparedCache cache;
+  return cache;
+}
+
+const BatchEntry* BatchResult::find(std::string_view workload,
+                                    opt::OptLevel level) const {
+  for (const auto& e : entries) {
+    if (e.workload == workload && e.level == level) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t BatchResult::failures() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(),
+                    [](const BatchEntry& e) { return !e.ok(); }));
+}
+
+namespace {
+
+/// Runs `task(i)` for i in [0, count) on `threads` workers.  Tasks are
+/// claimed from a shared atomic counter; each writes only its own output
+/// slot, so scheduling order cannot affect results.
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  n = std::max(1u, std::min<unsigned>(n, static_cast<unsigned>(count)));
+  if (n == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      task(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+/// Shared fan-out: `prepare_job(j)` supplies job j's prepared program (it
+/// may throw; the failure lands in that job's entries), `name_of(j)` its
+/// display name.
+BatchResult run_entries(
+    std::size_t job_count, const BatchOptions& options,
+    const std::function<std::string(std::size_t)>& name_of,
+    const std::function<const PreparedProgram&(std::size_t)>& prepare_job) {
+  BatchResult result;
+  result.entries.resize(job_count * options.levels.size());
+  for (std::size_t j = 0; j < job_count; ++j) {
+    for (std::size_t l = 0; l < options.levels.size(); ++l) {
+      BatchEntry& e = result.entries[j * options.levels.size() + l];
+      e.workload = name_of(j);
+      e.level = options.levels[l];
+    }
+  }
+
+  parallel_for(result.entries.size(), options.threads, [&](std::size_t i) {
+    BatchEntry& e = result.entries[i];
+    try {
+      const PreparedProgram& p = prepare_job(i / options.levels.size());
+      e.result = analyze_level(p, e.level, options.detector, options.optimize);
+    } catch (const std::exception& ex) {
+      e.error = ex.what();
+    } catch (...) {
+      e.error = "unknown error";
+    }
+  });
+  return result;
+}
+
+PreparedCache& cache_or_instance(PreparedCache* cache) {
+  return cache != nullptr ? *cache : PreparedCache::instance();
+}
+
+}  // namespace
+
+BatchResult run_batch(const std::vector<BatchJob>& jobs,
+                      const BatchOptions& options, PreparedCache* cache) {
+  PreparedCache& prepared = cache_or_instance(cache);
+  return run_entries(
+      jobs.size(), options, [&](std::size_t j) { return jobs[j].name; },
+      [&](std::size_t j) -> const PreparedProgram& {
+        return prepared.get(jobs[j].name, jobs[j].source, jobs[j].input);
+      });
+}
+
+BatchResult run_batch(const std::vector<std::string>& workloads,
+                      const BatchOptions& options, PreparedCache* cache) {
+  PreparedCache& prepared = cache_or_instance(cache);
+  return run_entries(
+      workloads.size(), options, [&](std::size_t j) { return workloads[j]; },
+      [&](std::size_t j) -> const PreparedProgram& {
+        // Throws std::out_of_range for names not in the suite.
+        return prepared.get(workloads[j]);
+      });
+}
+
+BatchResult run_suite(const BatchOptions& options, PreparedCache* cache) {
+  // Resolve by name: no copies of the suite's source texts or input data.
+  std::vector<std::string> names;
+  names.reserve(wl::suite().size());
+  for (const auto& w : wl::suite()) names.push_back(w.name);
+  return run_batch(names, options, cache);
+}
+
+}  // namespace asipfb::pipeline

@@ -1,0 +1,134 @@
+// Parallel batch execution of the paper's experiment matrix.
+//
+// The evaluation repeatedly needs "analyze every workload at every
+// optimization level" — 12 benchmarks x {O0, O1, O2} = 36 independent
+// analyses that previously ran as hand-rolled serial loops in each bench
+// driver and test, each with its own static PreparedProgram cache.  This
+// module centralizes both halves:
+//
+//   * PreparedCache — a thread-safe, process-wide cache that compiles and
+//     profiles each workload exactly once (prepare() runs a full
+//     simulation, by far the most expensive step), no matter how many
+//     threads or call sites ask for it.
+//   * run_batch()/run_suite() — a thread-pool fan-out of analyze_level()
+//     over (workload, level) pairs.  Every task writes its own result
+//     slot and analyze_level() is a pure function of the prepared
+//     program, so results are bit-identical regardless of thread count;
+//     entries come back in deterministic (workload-major, level-minor)
+//     order.  A workload that fails to compile, simulate, or analyze
+//     surfaces as BatchEntry::error instead of tearing down the batch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chain/detect.hpp"
+#include "opt/optimizer.hpp"
+#include "pipeline/driver.hpp"
+
+namespace asipfb::pipeline {
+
+/// Thread-safe cache of prepared (compiled + profiled) programs, keyed by
+/// workload name.  Preparation runs at most once per key — success or
+/// failure; concurrent requests for the same key block until the first
+/// finishes.  A failed preparation is latched: later gets for the key
+/// rethrow the recorded error instead of re-running the expensive
+/// compile+simulate.  Returned references stay valid for the cache's
+/// lifetime.
+class PreparedCache {
+ public:
+  /// Prepare (or fetch) by explicit source + input, under `key`.  A key is
+  /// bound to its first source: asking for the same key with different
+  /// source text throws std::invalid_argument instead of silently serving
+  /// the wrong program.
+  const PreparedProgram& get(const std::string& key, std::string_view source,
+                             const WorkloadInput& input);
+
+  /// Prepare (or fetch) a suite workload by name (wl::workload lookup);
+  /// throws std::out_of_range for unknown names.
+  const PreparedProgram& get(const std::string& workload_name);
+
+  /// Number of successfully prepared programs currently cached.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Process-wide instance shared by bench drivers and tests, so one
+  /// binary never profiles the same workload twice.
+  static PreparedCache& instance();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::optional<PreparedProgram> program;
+    std::atomic<bool> ready{false};  ///< Set (release) once `program` is filled.
+    std::string source;              ///< Source text bound to this key.
+    std::string error;               ///< Latched failure; rethrown on later gets.
+  };
+
+  Entry& entry_for(const std::string& key);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // node-based: references stay valid
+};
+
+/// One unit of work: a named BenchC program with its input bindings.
+struct BatchJob {
+  std::string name;
+  std::string source;
+  WorkloadInput input;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Levels analyzed per workload, in output order.
+  std::vector<opt::OptLevel> levels = {opt::OptLevel::O0, opt::OptLevel::O1,
+                                       opt::OptLevel::O2};
+  chain::DetectorOptions detector;
+  opt::OptimizeOptions optimize;
+};
+
+/// Outcome of one (workload, level) analysis.
+struct BatchEntry {
+  std::string workload;
+  opt::OptLevel level = opt::OptLevel::O0;
+  chain::DetectionResult result;  ///< Valid only when ok().
+  std::string error;              ///< Nonempty when the analysis failed.
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct BatchResult {
+  /// Workload-major (input order), level-minor (options.levels order) —
+  /// independent of thread count.
+  std::vector<BatchEntry> entries;
+
+  /// Entry for one (workload, level); nullptr when absent.
+  [[nodiscard]] const BatchEntry* find(std::string_view workload,
+                                       opt::OptLevel level) const;
+  /// Number of failed entries.
+  [[nodiscard]] std::size_t failures() const;
+};
+
+/// Fan analyze_level() out over jobs x options.levels on a thread pool.
+/// `cache` defaults to PreparedCache::instance().
+[[nodiscard]] BatchResult run_batch(const std::vector<BatchJob>& jobs,
+                                    const BatchOptions& options = {},
+                                    PreparedCache* cache = nullptr);
+
+/// As above, resolving suite workloads by name; an unknown name becomes an
+/// error entry for each requested level.
+[[nodiscard]] BatchResult run_batch(const std::vector<std::string>& workloads,
+                                    const BatchOptions& options = {},
+                                    PreparedCache* cache = nullptr);
+
+/// The full 12-workload paper suite (Table 1 order).
+[[nodiscard]] BatchResult run_suite(const BatchOptions& options = {},
+                                    PreparedCache* cache = nullptr);
+
+}  // namespace asipfb::pipeline

@@ -90,13 +90,13 @@ TEST(Lexer, BlockCommentsSkipped) {
 
 TEST(Lexer, UnterminatedBlockCommentReported) {
   DiagnosticEngine diags;
-  lex("1 /* oops", diags);
+  (void)lex("1 /* oops", diags);
   EXPECT_TRUE(diags.has_errors());
 }
 
 TEST(Lexer, UnexpectedCharacterReported) {
   DiagnosticEngine diags;
-  lex("int $x;", diags);
+  (void)lex("int $x;", diags);
   EXPECT_TRUE(diags.has_errors());
 }
 

@@ -15,7 +15,7 @@ TranslationUnit parse_ok(std::string_view src) {
 
 bool parse_fails(std::string_view src) {
   DiagnosticEngine diags;
-  parse(src, diags);
+  (void)parse(src, diags);
   return diags.has_errors();
 }
 

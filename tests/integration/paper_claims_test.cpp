@@ -8,23 +8,18 @@
 //  (5) Renaming helps ILP even while hurting chains — sections 6.1 / 8.
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "asip/extension.hpp"
 #include "opt/ilp.hpp"
+#include "pipeline/batch.hpp"
 #include "workloads/suite.hpp"
 
 namespace asipfb {
 namespace {
 
 const pipeline::PreparedProgram& prepared(const std::string& name) {
-  static std::map<std::string, pipeline::PreparedProgram> cache;
-  auto it = cache.find(name);
-  if (it == cache.end()) {
-    const auto& w = wl::workload(name);
-    it = cache.emplace(name, pipeline::prepare(w.source, w.name, w.input)).first;
-  }
-  return it->second;
+  // Shared process-wide cache (pipeline/batch.hpp): each workload is
+  // compiled and profiled at most once across the whole test binary.
+  return pipeline::PreparedCache::instance().get(name);
 }
 
 /// Suite-combined frequency of one signature: equal-weight mean over all

@@ -1,0 +1,157 @@
+// The batch runner's contract (pipeline/batch.hpp): deterministic results
+// independent of thread count, deterministic entry order, shared one-shot
+// preparation, and failures reported per entry instead of crashing.
+#include "pipeline/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "workloads/suite.hpp"
+
+namespace asipfb::pipeline {
+namespace {
+
+/// Field-by-field equality of two detection results.
+void expect_same_detection(const chain::DetectionResult& a,
+                           const chain::DetectionResult& b,
+                           const std::string& context) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles) << context;
+  EXPECT_EQ(a.regions, b.regions) << context;
+  EXPECT_EQ(a.paths, b.paths) << context;
+  ASSERT_EQ(a.sequences.size(), b.sequences.size()) << context;
+  for (std::size_t i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences[i].signature, b.sequences[i].signature) << context;
+    EXPECT_EQ(a.sequences[i].cycles, b.sequences[i].cycles) << context;
+    EXPECT_EQ(a.sequences[i].occurrences, b.sequences[i].occurrences) << context;
+    EXPECT_EQ(a.sequences[i].frequency, b.sequences[i].frequency) << context;
+  }
+}
+
+TEST(Batch, SuiteCoversAllWorkloadsAndLevelsInOrder) {
+  const auto batch = run_suite();
+  ASSERT_EQ(batch.entries.size(), wl::suite().size() * 3u);
+  EXPECT_EQ(batch.failures(), 0u);
+  std::size_t i = 0;
+  for (const auto& w : wl::suite()) {
+    for (auto level :
+         {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+      ASSERT_LT(i, batch.entries.size());
+      EXPECT_EQ(batch.entries[i].workload, w.name);
+      EXPECT_EQ(batch.entries[i].level, level);
+      EXPECT_TRUE(batch.entries[i].ok()) << batch.entries[i].error;
+      EXPECT_GT(batch.entries[i].result.total_cycles, 0u) << w.name;
+      ++i;
+    }
+  }
+}
+
+TEST(Batch, ResultsIdenticalAcrossThreadCounts) {
+  BatchOptions serial;
+  serial.threads = 1;
+  const auto a = run_suite(serial);
+
+  BatchOptions parallel;
+  parallel.threads = std::max(2u, std::thread::hardware_concurrency());
+  const auto b = run_suite(parallel);
+
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].workload, b.entries[i].workload);
+    EXPECT_EQ(a.entries[i].level, b.entries[i].level);
+    EXPECT_EQ(a.entries[i].ok(), b.entries[i].ok());
+    expect_same_detection(
+        a.entries[i].result, b.entries[i].result,
+        a.entries[i].workload + "@" +
+            std::string(opt::to_string(a.entries[i].level)));
+  }
+}
+
+TEST(Batch, FindLocatesEveryPair) {
+  const auto batch = run_suite();
+  for (const auto& w : wl::suite()) {
+    for (auto level :
+         {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+      const auto* e = batch.find(w.name, level);
+      ASSERT_NE(e, nullptr) << w.name;
+      EXPECT_EQ(e->workload, w.name);
+      EXPECT_EQ(e->level, level);
+    }
+  }
+  EXPECT_EQ(batch.find("nonexistent", opt::OptLevel::O0), nullptr);
+}
+
+TEST(Batch, UnknownWorkloadReportsErrorWithoutCrashing) {
+  const auto batch =
+      run_batch(std::vector<std::string>{"fir", "no_such_workload"});
+  ASSERT_EQ(batch.entries.size(), 6u);
+  EXPECT_EQ(batch.failures(), 3u);
+  for (const auto& e : batch.entries) {
+    if (e.workload == "fir") {
+      EXPECT_TRUE(e.ok()) << e.error;
+    } else {
+      EXPECT_FALSE(e.ok());
+      EXPECT_FALSE(e.error.empty());
+    }
+  }
+}
+
+TEST(Batch, CompileFailureReportsErrorWithoutCrashing) {
+  PreparedCache local;
+  std::vector<BatchJob> jobs;
+  jobs.push_back({"broken", "int main() { return undefined_variable; }", {}});
+  const auto batch = run_batch(jobs, {}, &local);
+  ASSERT_EQ(batch.entries.size(), 3u);
+  EXPECT_EQ(batch.failures(), 3u);
+  for (const auto& e : batch.entries) {
+    EXPECT_FALSE(e.ok());
+    EXPECT_FALSE(e.error.empty()) << "failure must carry a diagnostic";
+  }
+  EXPECT_EQ(local.size(), 0u) << "failed preparations must not count as prepared";
+
+  // The failure is latched under its key: same source rethrows the recorded
+  // diagnostic, a different source still gets the mismatch contract.
+  EXPECT_THROW(
+      (void)local.get("broken", "int main() { return undefined_variable; }", {}),
+      std::runtime_error);
+  EXPECT_THROW((void)local.get("broken", "int main() { return 0; }", {}),
+               std::invalid_argument);
+}
+
+TEST(Batch, PreparedCachePreparesEachWorkloadOnce) {
+  PreparedCache local;
+  const auto& first = local.get("fir");
+  const auto& second = local.get("fir");
+  EXPECT_EQ(&first, &second) << "same object must be served from cache";
+  EXPECT_EQ(local.size(), 1u);
+
+  // Custom-keyed entries coexist with suite entries.
+  const auto& w = wl::workload("iir");
+  const auto& custom = local.get("iir-copy", w.source, w.input);
+  EXPECT_EQ(custom.total_cycles, local.get("iir").total_cycles);
+  EXPECT_EQ(local.size(), 3u);
+
+  // A key is bound to its first source: re-using it with different source
+  // text must throw instead of silently serving the cached program.
+  EXPECT_THROW((void)local.get("iir-copy", "int main() { return 0; }", {}),
+               std::invalid_argument);
+}
+
+TEST(Batch, CustomLevelsAndDetectorOptionsRespected) {
+  BatchOptions options;
+  options.levels = {opt::OptLevel::O1};
+  options.detector.min_length = 2;
+  options.detector.max_length = 2;
+  const auto batch = run_batch(std::vector<std::string>{"fir", "edge"}, options);
+  ASSERT_EQ(batch.entries.size(), 2u);
+  for (const auto& e : batch.entries) {
+    EXPECT_EQ(e.level, opt::OptLevel::O1);
+    ASSERT_TRUE(e.ok()) << e.error;
+    for (const auto& stat : e.result.sequences) {
+      EXPECT_EQ(stat.signature.length(), 2u) << e.workload;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace asipfb::pipeline

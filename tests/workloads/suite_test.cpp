@@ -10,14 +10,32 @@
 namespace asipfb::wl {
 namespace {
 
+/// Table 1's benchmark names, in paper order.
+constexpr const char* kTableOneOrder[] = {
+    "fir",      "iir",     "pse",    "intfft", "compress", "flatten",
+    "smooth",   "edge",    "sewha",  "dft",    "bspline",  "feowf"};
+
 TEST(Suite, HasTwelveBenchmarksInPaperOrder) {
   const auto& all = suite();
+  ASSERT_EQ(all.size(), std::size(kTableOneOrder));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, kTableOneOrder[i]);
+  }
+}
+
+TEST(Suite, TwelveUniqueWorkloadsEachWithSourceAndOutputs) {
+  // Table 1's contract in one place: exactly twelve uniquely named
+  // workloads, in paper order, each carrying a BenchC program and at least
+  // one output global for differential comparison.
+  const auto& all = suite();
   ASSERT_EQ(all.size(), 12u);
-  const char* expected[] = {"fir",      "iir",     "pse",    "intfft",
-                            "compress", "flatten", "smooth", "edge",
-                            "sewha",    "dft",     "bspline", "feowf"};
-  for (std::size_t i = 0; i < 12; ++i) {
-    EXPECT_EQ(all[i].name, expected[i]);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].name, kTableOneOrder[i]) << "Table 1 order at index " << i;
+    EXPECT_TRUE(names.insert(all[i].name).second)
+        << "duplicate name: " << all[i].name;
+    EXPECT_FALSE(all[i].source.empty()) << all[i].name;
+    EXPECT_FALSE(all[i].outputs.empty()) << all[i].name;
   }
 }
 
@@ -31,7 +49,7 @@ TEST(Suite, NamesUnique) {
 TEST(Suite, LookupByName) {
   EXPECT_EQ(workload("fir").name, "fir");
   EXPECT_EQ(workload("feowf").name, "feowf");
-  EXPECT_THROW(workload("nope"), std::out_of_range);
+  EXPECT_THROW((void)workload("nope"), std::out_of_range);
 }
 
 TEST(Suite, DescriptionsMatchTableOne) {
