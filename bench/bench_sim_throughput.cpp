@@ -1,0 +1,107 @@
+// Simulator throughput over the paper suite: dynamic operations per second
+// for profiled and unprofiled runs, as machine-readable JSON.
+//
+// This is the perf trajectory's primary number for the step-2 simulator
+// (the dominant cost of prepare()).  One Machine is built per workload and
+// reused across iterations with reset_memory() + fresh inputs — the
+// decode-once/run-many pattern prepare_multi() and the batch runner rely
+// on — so the measurement isolates the execution engine itself.
+//
+// Prints the JSON to stdout and writes it to BENCH_sim_throughput.json in
+// the current directory (override the path with argv[1]).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "frontend/compile.hpp"
+#include "opt/cleanup.hpp"
+#include "sim/machine.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Measurement {
+  std::uint64_t total_steps = 0;
+  double seconds = 0.0;
+
+  [[nodiscard]] double ops_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(total_steps) / seconds : 0.0;
+  }
+};
+
+/// Repeats reset+bind+run until both a minimum rep count and a minimum
+/// wall-time are reached, so short workloads still measure meaningfully.
+Measurement measure(asipfb::sim::Machine& machine,
+                    const asipfb::wl::Workload& w, bool profile) {
+  using namespace asipfb;
+  sim::SimOptions options;
+  options.profile = profile;
+  auto run_once = [&] {
+    machine.reset_memory();
+    for (const auto& [g, v] : w.input.float_inputs) machine.write_global(g, v);
+    for (const auto& [g, v] : w.input.int_inputs) machine.write_global(g, v);
+    return machine.run(options);
+  };
+  run_once();  // Warm-up: page in code and memory image.
+
+  constexpr int kMinReps = 3;
+  constexpr double kMinSeconds = 0.05;
+  Measurement m;
+  const auto start = Clock::now();
+  int reps = 0;
+  do {
+    m.total_steps += run_once().steps;
+    ++reps;
+    m.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (reps < kMinReps || m.seconds < kMinSeconds);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace asipfb;
+  std::string json = "{\n  \"bench\": \"sim_throughput\",\n  \"unit\": "
+                     "\"dynamic_ops_per_sec\",\n  \"workloads\": [\n";
+  Measurement suite_plain, suite_profiled;
+  bool first = true;
+  for (const auto& w : wl::suite()) {
+    ir::Module module = fe::compile_benchc(w.source, w.name);
+    opt::canonicalize(module);
+    sim::Machine machine(module);
+    const Measurement plain = measure(machine, w, /*profile=*/false);
+    const Measurement profiled = measure(machine, w, /*profile=*/true);
+    suite_plain.total_steps += plain.total_steps;
+    suite_plain.seconds += plain.seconds;
+    suite_profiled.total_steps += profiled.total_steps;
+    suite_profiled.seconds += profiled.seconds;
+    char row[256];
+    std::snprintf(row, sizeof row,
+                  "%s    {\"name\": \"%s\", \"ops_per_sec\": %.4g, "
+                  "\"profiled_ops_per_sec\": %.4g}",
+                  first ? "" : ",\n", w.name.c_str(), plain.ops_per_sec(),
+                  profiled.ops_per_sec());
+    json += row;
+    first = false;
+  }
+  char totals[256];
+  std::snprintf(totals, sizeof totals,
+                "\n  ],\n  \"suite_ops_per_sec\": %.4g,\n"
+                "  \"suite_profiled_ops_per_sec\": %.4g\n}\n",
+                suite_plain.ops_per_sec(), suite_profiled.ops_per_sec());
+  json += totals;
+
+  std::fputs(json.c_str(), stdout);
+  const char* path = argc > 1 ? argv[1] : "BENCH_sim_throughput.json";
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path);
+    return 1;
+  }
+  return 0;
+}

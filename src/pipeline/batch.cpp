@@ -61,6 +61,11 @@ std::size_t PreparedCache::size() const {
       }));
 }
 
+void PreparedCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
 PreparedCache& PreparedCache::instance() {
   static PreparedCache cache;
   return cache;

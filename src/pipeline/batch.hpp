@@ -57,6 +57,13 @@ class PreparedCache {
   /// Number of successfully prepared programs currently cached.
   [[nodiscard]] std::size_t size() const;
 
+  /// Drops every cached entry (including latched failures), so long-lived
+  /// batch processes and tests can release stale programs instead of
+  /// growing without bound.  Invalidates all references returned by get();
+  /// the caller must ensure no concurrent get() is in flight and no
+  /// borrowed reference is still in use.
+  void clear();
+
   /// Process-wide instance shared by bench drivers and tests, so one
   /// binary never profiles the same workload twice.
   static PreparedCache& instance();

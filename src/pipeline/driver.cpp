@@ -50,9 +50,13 @@ PreparedProgram prepare_multi(std::string_view source, std::string name,
   opt::canonicalize(prepared.module);
   ir::verify_or_throw(prepared.module);
   sim::clear_profile(prepared.module);
+  // Decode once, run every data set on the same machine: reset_memory()
+  // restores the initial global image between sets, exactly like a fresh
+  // machine, without re-flattening the module per set.
+  sim::Machine machine(prepared.module);
   for (const auto& input : inputs) {
     // Profile WITHOUT clearing between data sets: counts accumulate.
-    sim::Machine machine(prepared.module);
+    machine.reset_memory();
     for (const auto& [g, values] : input.float_inputs) machine.write_global(g, values);
     for (const auto& [g, values] : input.int_inputs) machine.write_global(g, values);
     sim::SimOptions options;

@@ -66,7 +66,9 @@ struct PreparedProgram {
 /// As prepare(), but profiles over several sample data sets (the paper's
 /// "Sample Benchmarks and Data"): execution counts accumulate across all
 /// runs, so the frequency analysis reflects the whole input population.
-/// The baseline_run captures the last data set's outcome.
+/// The module is decoded once and every data set runs on the same
+/// simulator (reset_memory() between sets).  The baseline_run captures
+/// the last data set's outcome.
 [[nodiscard]] PreparedProgram prepare_multi(std::string_view source, std::string name,
                                             const std::vector<WorkloadInput>& inputs);
 

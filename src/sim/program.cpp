@@ -1,0 +1,20 @@
+#include "sim/program.hpp"
+
+namespace asipfb::sim {
+
+ir::FuncId Program::find_function(std::string_view name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<ir::FuncId>(i);
+  }
+  return ir::kNoFunc;
+}
+
+void Program::flush_profile(const std::uint64_t* counters) const {
+  // Skipping zero counters keeps the flush from touching never-executed
+  // instructions' cache lines (most of a module under small inputs).
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (counters[i] != 0) source[i]->exec_count += counters[i];
+  }
+}
+
+}  // namespace asipfb::sim

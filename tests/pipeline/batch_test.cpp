@@ -137,6 +137,34 @@ TEST(Batch, PreparedCachePreparesEachWorkloadOnce) {
                std::invalid_argument);
 }
 
+TEST(Batch, PreparedCacheClearDropsEntriesAndAllowsReuse) {
+  PreparedCache local;
+  // Copy, not reference: clear() invalidates returned references.
+  const std::uint64_t first_cycles = local.get("fir").total_cycles;
+  const std::uint64_t first_steps = local.get("fir").baseline_run.steps;
+  (void)local.get("iir");
+  EXPECT_EQ(local.size(), 2u);
+
+  local.clear();
+  EXPECT_EQ(local.size(), 0u) << "clear() must drop every cached program";
+
+  // Cleared keys are fully reusable: a fresh preparation runs and yields
+  // the same analysis inputs, and the count regrows only by what is added.
+  const auto& again = local.get("fir");
+  EXPECT_EQ(again.total_cycles, first_cycles);
+  EXPECT_EQ(again.baseline_run.steps, first_steps);
+  EXPECT_EQ(local.size(), 1u);
+
+  // Latched failures are dropped too: the key accepts a new source after
+  // clear() instead of throwing the bound-to-different-source error.
+  EXPECT_THROW((void)local.get("k", "int main() { return undefined; }", {}),
+               std::runtime_error);
+  local.clear();
+  const auto& ok = local.get("k", "int main() { return 3; }", {});
+  EXPECT_EQ(ok.baseline_run.exit_code, 3);
+  EXPECT_EQ(local.size(), 1u);
+}
+
 TEST(Batch, CustomLevelsAndDetectorOptionsRespected) {
   BatchOptions options;
   options.levels = {opt::OptLevel::O1};

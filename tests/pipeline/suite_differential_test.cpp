@@ -1,0 +1,78 @@
+// Bit-exactness of the decoded execution engine against the original
+// direct-interpretation simulator, on all 12 suite workloads.
+//
+// The constants below were recorded by running examples/sim_baseline_dump
+// against the seed interpreter (the pre-decode sim::Machine that walked
+// ir::Instr structs directly).  Any engine change that alters a step,
+// cycle or OOB-load count, an execution-count annotation (totals AND
+// per-instruction attribution, via the hash), or an output word on any
+// workload fails here.  Regenerate with build/examples/sim_baseline_dump
+// only when a semantic change is intended and understood.  The hashes are
+// shared with that tool via src/sim/baseline_hash.hpp.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/baseline_hash.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb {
+namespace {
+
+struct RecordedRun {
+  const char* workload;
+  std::uint64_t steps;
+  std::uint64_t cycles;
+  std::uint64_t oob_loads;
+  std::int32_t exit_code;
+  std::uint64_t exec_total;    ///< Sum of exec_count after the profiled run.
+  std::uint64_t profile_hash;  ///< FNV-1a over (id, exec_count) in order.
+  std::uint64_t output_hash;   ///< FNV-1a over declared output globals.
+};
+
+// Recorded from the seed interpreter at commit 0a27bff (PR 1).
+constexpr RecordedRun kSeedRuns[] = {
+    {"fir", 63662ull, 63662ull, 0ull, -9777, 63662ull, 0xd5ebc8bec8b543e9ull, 0x1ecd1c6d03ba1037ull},
+    {"iir", 15261ull, 15261ull, 0ull, 5568, 15261ull, 0xb2f3ca993bd607a1ull, 0x5a22bd0a29682ad1ull},
+    {"pse", 88354ull, 88354ull, 0ull, 1206, 88354ull, 0xd7b8cd5a5e922a35ull, 0x7a328b0a20cf7438ull},
+    {"intfft", 89809ull, 89809ull, 0ull, 247, 89809ull, 0x3efc89adf7c7b649ull, 0xad5dd7435c3fe359ull},
+    {"compress", 2308437ull, 2308437ull, 0ull, 72361, 2308437ull, 0x3109774e7b1d0c13ull, 0x2e32648f3ae78ea0ull},
+    {"flatten", 34046ull, 34046ull, 0ull, 73280, 34046ull, 0xcde86178191f6613ull, 0x2a2fc86a328fa296ull},
+    {"smooth", 167142ull, 167142ull, 0ull, 73199, 167142ull, 0x1db8df616893063full, 0x870171551da2343dull},
+    {"edge", 360910ull, 360910ull, 0ull, 109650, 360910ull, 0x0d82447f0674d025ull, 0x0f05ed1939a27a7cull},
+    {"sewha", 6792ull, 6792ull, 0ull, 1083, 6792ull, 0x44595ffe72e5d4b8ull, 0x9fa7495fca53394aull},
+    {"dft", 1451281ull, 1451281ull, 0ull, 356, 1451281ull, 0x5041b6536815be04ull, 0x29eae79bd813b302ull},
+    {"bspline", 9190ull, 9190ull, 0ull, 1592, 9190ull, 0x3151b2032a56db24ull, 0x61d5d3e6c812a7eeull},
+    {"feowf", 19505ull, 19505ull, 0ull, -659790, 19505ull, 0xbd5c219e64ebfc68ull, 0x81d766e2969ce97dull},
+};
+
+class SuiteDifferential : public ::testing::TestWithParam<RecordedRun> {};
+
+TEST_P(SuiteDifferential, BitIdenticalToSeedInterpreter) {
+  const RecordedRun& expected = GetParam();
+  const auto& w = wl::workload(expected.workload);
+  const auto prepared = pipeline::prepare(w.source, w.name, w.input);
+
+  EXPECT_EQ(prepared.baseline_run.steps, expected.steps);
+  EXPECT_EQ(prepared.baseline_run.cycles, expected.cycles);
+  EXPECT_EQ(prepared.baseline_run.oob_loads, expected.oob_loads);
+  EXPECT_EQ(prepared.baseline_run.exit_code, expected.exit_code);
+  EXPECT_EQ(prepared.module.total_dynamic_ops(), expected.exec_total);
+  EXPECT_EQ(sim::profile_hash(prepared.module), expected.profile_hash)
+      << "per-instruction execution counts diverged";
+
+  ir::Module copy = prepared.module;
+  const auto run = pipeline::execute(copy, w.input, w.outputs);
+  EXPECT_EQ(run.exit_code, expected.exit_code);
+  EXPECT_EQ(sim::output_hash(run.outputs, w.outputs), expected.output_hash)
+      << "output globals diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SuiteDifferential,
+                         ::testing::ValuesIn(kSeedRuns),
+                         [](const ::testing::TestParamInfo<RecordedRun>& info) {
+                           return std::string(info.param.workload);
+                         });
+
+}  // namespace
+}  // namespace asipfb
