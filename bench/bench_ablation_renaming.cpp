@@ -26,8 +26,9 @@ double combined_with_options(const char* name, opt::OptLevel level,
   options.percolation.chain_preserving = chain_preserving;
   double sum = 0.0;
   for (const auto& w : wl::suite()) {
-    // Bypass the driver's per-level default for chain preservation by
-    // optimizing manually.
+    // Optimize manually instead of through Session: the counterfactual
+    // O2+chain-preserving configuration is exactly what the pipeline's
+    // per-level normalization forbids, so its cache can never serve it.
     ir::Module variant = bench::prepared_workload(w.name).module;
     for (auto& fn : variant.functions) {
       opt::unroll_loops(fn, options.unroll);

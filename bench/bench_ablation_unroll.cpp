@@ -20,8 +20,10 @@ double combined_at_factor(const char* name, int factor) {
   options.unroll.factor = factor;
   double sum = 0.0;
   for (const auto& w : wl::suite()) {
-    const auto& p = bench::prepared_workload(w.name);
-    const auto result = pipeline::analyze_level(p, opt::OptLevel::O1, {}, options);
+    // Session memoizes per (level, options): each factor's detection runs
+    // once per workload no matter how many sequences this table asks about.
+    const auto& result =
+        bench::session(w.name).detection(opt::OptLevel::O1, {}, options);
     sum += result.frequency_of(*sig);
   }
   return sum / static_cast<double>(wl::suite().size());

@@ -17,18 +17,21 @@ namespace {
 using namespace asipfb;
 
 /// Simulated speedup: fuse the selected chains in the optimized program and
-/// re-run it — cycles are measured, not estimated.
+/// re-run it — cycles are measured, not estimated.  The optimized module,
+/// coverage, and proposal all come memoized from the workload's Session;
+/// only the fused variant (whose instruction ids match the cached module
+/// the coverage ran on) is a private copy.
 double measured_speedup(const std::string& name, double area_budget) {
   const auto& w = wl::workload(name);
-  const auto& p = bench::prepared_workload(name);
-  ir::Module variant = pipeline::optimized_variant(p, opt::OptLevel::O1);
-  const auto coverage = chain::coverage_analysis(variant, {}, p.total_cycles);
+  auto& session = bench::session(name);
+  const auto& coverage = session.coverage(opt::OptLevel::O1);
 
   asip::SelectionOptions options;
   options.area_budget = area_budget;
-  const auto proposal = asip::propose_extensions(coverage, p.total_cycles, {}, options);
+  const auto& proposal = session.extension(opt::OptLevel::O1, options);
   std::vector<chain::Signature> selected;
   for (const auto& s : proposal.selected) selected.push_back(s.signature);
+  ir::Module variant = session.optimized(opt::OptLevel::O1);
   asip::apply_fusion(variant, coverage, selected);
 
   const auto run = pipeline::execute(variant, w.input, {});
@@ -41,15 +44,13 @@ void print_speedups() {
   TextTable table({"Benchmark", "area 10", "area 20", "area 40", "area 80",
                    "measured (sim, area 40)", "top selection (area 40)"});
   for (const auto& w : wl::suite()) {
-    const auto& p = bench::prepared_workload(w.name);
-    const auto coverage = pipeline::coverage_at_level(p, opt::OptLevel::O1);
+    auto& session = bench::session(w.name);
     std::vector<std::string> row{w.name};
     std::string top_selection = "-";
     for (double budget : budgets) {
       asip::SelectionOptions options;
       options.area_budget = budget;
-      const auto proposal =
-          asip::propose_extensions(coverage, p.total_cycles, {}, options);
+      const auto& proposal = session.extension(opt::OptLevel::O1, options);
       row.push_back(format_fixed(proposal.speedup(), 3) + "x");
       if (budget == 40.0 && !proposal.selected.empty()) {
         top_selection = proposal.selected[0].signature.to_string();
@@ -66,9 +67,16 @@ void BM_ProposeExtensions(benchmark::State& state) {
   const auto& w = wl::suite()[static_cast<std::size_t>(state.range(0))];
   const auto& p = bench::prepared_workload(w.name);
   for (auto _ : state) {
-    const auto coverage = pipeline::coverage_at_level(p, opt::OptLevel::O1);
-    const auto proposal = asip::propose_extensions(coverage, p.total_cycles);
+    // Fresh caches per iteration: times coverage + selection end to end
+    // (Session construction and teardown untimed).
+    state.PauseTiming();
+    auto s = std::make_unique<pipeline::Session>(p);
+    state.ResumeTiming();
+    const auto& proposal = s->extension(opt::OptLevel::O1);
     benchmark::DoNotOptimize(proposal.customized_cycles);
+    state.PauseTiming();
+    s.reset();
+    state.ResumeTiming();
   }
   state.SetLabel(w.name);
 }

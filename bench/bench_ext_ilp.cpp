@@ -20,10 +20,10 @@ void print_ilp() {
   TextTable table({"Benchmark", "O0 w1", "O0 w2", "O0 w4", "O0 w8",
                    "O2 w1", "O2 w2", "O2 w4", "O2 w8"});
   for (const auto& w : wl::suite()) {
-    const auto& p = bench::prepared_workload(w.name);
     std::vector<std::string> row{w.name};
     for (auto level : {opt::OptLevel::O0, opt::OptLevel::O2}) {
-      ir::Module variant = pipeline::optimized_variant(p, level);
+      // Served from the Session cache — no copy, the measurement reads it.
+      const ir::Module& variant = bench::session(w.name).optimized(level);
       for (int width : {1, 2, 4, 8}) {
         row.push_back(format_fixed(opt::measure_ilp(variant, width).ops_per_cycle, 2));
       }

@@ -19,8 +19,7 @@ void print_figure5() {
   options.min_length = 2;
   options.max_length = 2;
   for (const auto& w : wl::suite()) {
-    const auto result = pipeline::analyze_level(bench::prepared_workload(w.name),
-                                                opt::OptLevel::O1, options);
+    const auto& result = bench::session(w.name).detection(opt::OptLevel::O1, options);
     TextTable table({"sequence", "dyn freq"});
     for (const auto& stat : result.sequences) {
       if (stat.frequency < 5.0) break;
@@ -37,8 +36,15 @@ void BM_PerBenchLen2(benchmark::State& state) {
   options.min_length = 2;
   options.max_length = 2;
   for (auto _ : state) {
-    const auto result = pipeline::analyze_level(p, opt::OptLevel::O1, options);
-    benchmark::DoNotOptimize(result.paths);
+    // Fresh caches per iteration: times the length-2 detection itself
+    // (Session construction and teardown untimed).
+    state.PauseTiming();
+    auto s = std::make_unique<pipeline::Session>(p);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s->detection(opt::OptLevel::O1, options).paths);
+    state.PauseTiming();
+    s.reset();
+    state.ResumeTiming();
   }
   state.SetLabel(w.name);
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/json.hpp"
 #include "frontend/compile.hpp"
 #include "opt/cleanup.hpp"
 #include "sim/machine.hpp"
@@ -64,10 +65,13 @@ Measurement measure(asipfb::sim::Machine& machine,
 
 int main(int argc, char** argv) {
   using namespace asipfb;
-  std::string json = "{\n  \"bench\": \"sim_throughput\",\n  \"unit\": "
-                     "\"dynamic_ops_per_sec\",\n  \"workloads\": [\n";
+  bench::JsonWriter json;
+  json.begin_object()
+      .member("bench", "sim_throughput")
+      .member("unit", "dynamic_ops_per_sec")
+      .key("workloads")
+      .begin_array();
   Measurement suite_plain, suite_profiled;
-  bool first = true;
   for (const auto& w : wl::suite()) {
     ir::Module module = fe::compile_benchc(w.source, w.name);
     opt::canonicalize(module);
@@ -78,30 +82,19 @@ int main(int argc, char** argv) {
     suite_plain.seconds += plain.seconds;
     suite_profiled.total_steps += profiled.total_steps;
     suite_profiled.seconds += profiled.seconds;
-    char row[256];
-    std::snprintf(row, sizeof row,
-                  "%s    {\"name\": \"%s\", \"ops_per_sec\": %.4g, "
-                  "\"profiled_ops_per_sec\": %.4g}",
-                  first ? "" : ",\n", w.name.c_str(), plain.ops_per_sec(),
-                  profiled.ops_per_sec());
-    json += row;
-    first = false;
+    json.inline_object()
+        .member("name", w.name)
+        .member("ops_per_sec", plain.ops_per_sec())
+        .member("profiled_ops_per_sec", profiled.ops_per_sec())
+        .end_object();
   }
-  char totals[256];
-  std::snprintf(totals, sizeof totals,
-                "\n  ],\n  \"suite_ops_per_sec\": %.4g,\n"
-                "  \"suite_profiled_ops_per_sec\": %.4g\n}\n",
-                suite_plain.ops_per_sec(), suite_profiled.ops_per_sec());
-  json += totals;
+  json.end_array()
+      .member("suite_ops_per_sec", suite_plain.ops_per_sec())
+      .member("suite_profiled_ops_per_sec", suite_profiled.ops_per_sec())
+      .end_object();
 
-  std::fputs(json.c_str(), stdout);
+  std::fputs(json.str().c_str(), stdout);
+  std::fputs("\n", stdout);
   const char* path = argc > 1 ? argv[1] : "BENCH_sim_throughput.json";
-  if (std::FILE* f = std::fopen(path, "w")) {
-    std::fputs(json.c_str(), f);
-    std::fclose(f);
-  } else {
-    std::fprintf(stderr, "warning: could not write %s\n", path);
-    return 1;
-  }
-  return 0;
+  return bench::JsonWriter::write_file(path, json.str() + "\n") ? 0 : 1;
 }

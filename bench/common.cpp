@@ -2,40 +2,37 @@
 
 #include <algorithm>
 #include <map>
-#include <stdexcept>
+#include <mutex>
 
 #include "pipeline/batch.hpp"
 #include "support/table.hpp"
 
 namespace asipfb::bench {
 
+pipeline::Session& session(const std::string& name) {
+  // The shared_ptr stays alive in the process-wide pool (bench binaries
+  // never clear it), so handing out a reference is safe.
+  return *pipeline::SessionPool::instance().get(name);
+}
+
 const pipeline::PreparedProgram& prepared_workload(const std::string& name) {
-  return pipeline::PreparedCache::instance().get(name);
+  return session(name).prepared();
 }
 
 namespace {
 
-/// Default-option detection for the whole suite at one level, computed once
-/// per level by the parallel batch runner (detection is deterministic).
-const pipeline::BatchResult& suite_batch(opt::OptLevel level) {
-  static std::map<int, pipeline::BatchResult> cache;
-  const int key = static_cast<int>(level);
-  auto it = cache.find(key);
-  if (it == cache.end()) {
+/// Default-option detection at one level, served from the workload's
+/// Session.  The first query per level fans the whole suite out on the
+/// batch thread pool (filling the session caches in parallel); everything
+/// after that is a cache hit.
+const chain::DetectionResult& detection(const std::string& name, opt::OptLevel level) {
+  static std::once_flag warmed[3];
+  std::call_once(warmed[static_cast<int>(level)], [&] {
     pipeline::BatchOptions options;
     options.levels = {level};
-    it = cache.emplace(key, pipeline::run_suite(options)).first;
-  }
-  return it->second;
-}
-
-const chain::DetectionResult& detection(const std::string& name, opt::OptLevel level) {
-  const auto* entry = suite_batch(level).find(name, level);
-  if (entry == nullptr || !entry->ok()) {
-    throw std::runtime_error("batch analysis failed for " + name +
-                             (entry != nullptr ? ": " + entry->error : ""));
-  }
-  return entry->result;
+    (void)pipeline::run_suite(options);
+  });
+  return session(name).detection(level);
 }
 
 }  // namespace

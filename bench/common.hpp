@@ -12,9 +12,14 @@
 #include "chain/detect.hpp"
 #include "opt/optimizer.hpp"
 #include "pipeline/driver.hpp"
+#include "pipeline/session.hpp"
 #include "workloads/suite.hpp"
 
 namespace asipfb::bench {
+
+/// The process-wide memoizing Session of a suite workload: compile+profile
+/// runs once per binary, every analysis artifact once per option set.
+pipeline::Session& session(const std::string& name);
 
 /// Cached compile+profile of a suite workload (expensive: full simulation).
 const pipeline::PreparedProgram& prepared_workload(const std::string& name);

@@ -1,0 +1,147 @@
+#include "bench/json.hpp"
+
+#include <cstdio>
+
+namespace asipfb::bench {
+
+bool JsonWriter::inlined() const {
+  for (const Frame& f : stack_) {
+    if (f.inlined) return true;
+  }
+  return false;
+}
+
+void JsonWriter::begin_value() {
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (have_key_) return;  // key() already placed the separator.
+  if (!top.first) out_ += ',';
+  top.first = false;
+  if (inlined()) {
+    if (out_.back() == ',') out_ += ' ';
+  } else {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+}
+
+void JsonWriter::open(char kind, char bracket, bool inl) {
+  begin_value();
+  have_key_ = false;
+  out_ += bracket;
+  Frame f;
+  f.kind = kind;
+  f.inlined = inl;
+  stack_.push_back(f);
+}
+
+void JsonWriter::close(char kind, char bracket) {
+  const bool empty = stack_.back().first;
+  const bool was_inlined = inlined();
+  stack_.pop_back();
+  if (!empty && !was_inlined) {
+    out_ += '\n';
+    out_.append(2 * stack_.size(), ' ');
+  }
+  out_ += bracket;
+  (void)kind;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open('o', '{', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::inline_object() {
+  open('o', '{', true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close('o', '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open('a', '[', false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close('a', ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  (void)value(k);  // Emits the separator and the quoted key text.
+  out_ += ": ";
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  begin_value();
+  have_key_ = false;
+  out_ += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v, const char* fmt) {
+  begin_value();
+  have_key_ = false;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  have_key_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  begin_value();
+  have_key_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  have_key_ = false;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+bool JsonWriter::write_file(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace asipfb::bench

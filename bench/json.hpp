@@ -1,0 +1,69 @@
+// Minimal streaming JSON writer shared by the bench binaries'
+// machine-readable outputs (BENCH_*.json artifacts).
+//
+// Replaces the hand-rolled snprintf emission each driver used to carry:
+// objects/arrays nest, members are emitted in call order, commas and
+// indentation are managed internally, and doubles default to the %.4g
+// formatting the bench outputs have always used.  Objects opened with
+// inline_object() render on one line — the per-row style of the existing
+// artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asipfb::bench {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& inline_object();  ///< As begin_object(), rendered on one line.
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);  ///< Quoted, escaped.
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v, const char* fmt = "%.4g");
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document so far (call after the outermost container is closed).
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Writes `json` to `path`; warns on stderr and returns false on failure.
+  static bool write_file(const std::string& path, const std::string& json);
+
+ private:
+  struct Frame {
+    char kind = 'o';      ///< 'o' object, 'a' array.
+    bool first = true;    ///< No separator needed yet.
+    bool inlined = false; ///< Single-line rendering.
+  };
+
+  void begin_value();  ///< Separator + newline/indent for the next element.
+  void open(char kind, char bracket, bool inlined);
+  void close(char kind, char bracket);
+  [[nodiscard]] bool inlined() const;
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool have_key_ = false;  ///< A key was emitted; next value attaches to it.
+};
+
+}  // namespace asipfb::bench

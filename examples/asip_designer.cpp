@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "asip/extension.hpp"
+#include "pipeline/session.hpp"
 #include "workloads/suite.hpp"
 
 using namespace asipfb;
@@ -25,10 +26,11 @@ int main(int argc, char** argv) {
   double speedup_product = 1.0;
   int count = 0;
   for (const auto& w : wl::suite()) {
-    const auto prepared = pipeline::prepare(w.source, w.name, w.input);
-    const auto coverage = pipeline::coverage_at_level(prepared, opt::OptLevel::O1);
-    const auto proposal = asip::propose_extensions(coverage, prepared.total_cycles,
-                                                   {}, selection);
+    // Sessions come from the process-wide pool: rerunning with a second
+    // budget inside one process would reuse every coverage analysis and
+    // only redo the (cheap) selection.
+    const auto session = pipeline::SessionPool::instance().get(w.name);
+    const auto& proposal = session->extension(opt::OptLevel::O1, selection);
     std::printf("=== %s ===\n%s\n", w.name.c_str(),
                 asip::render_proposal(proposal).c_str());
     speedup_product *= proposal.speedup();

@@ -13,7 +13,6 @@
 // bundled benchmarks show the pattern), or extend WorkloadInput binding here.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -22,7 +21,7 @@
 #include "chain/report.hpp"
 #include "ir/printer.hpp"
 #include "opt/ilp.hpp"
-#include "pipeline/driver.hpp"
+#include "pipeline/session.hpp"
 
 using namespace asipfb;
 
@@ -54,10 +53,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     if (arg == "--level") {
       const char* v = next();
       if (v == nullptr) return false;
-      if (std::strcmp(v, "O0") == 0) options.level = opt::OptLevel::O0;
-      else if (std::strcmp(v, "O1") == 0) options.level = opt::OptLevel::O1;
-      else if (std::strcmp(v, "O2") == 0) options.level = opt::OptLevel::O2;
-      else return false;
+      const auto level = opt::parse_opt_level(v);
+      if (!level.has_value()) return false;
+      options.level = *level;
     } else if (arg == "--min") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -104,44 +102,37 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
 
   try {
+    // One Session drives the whole CLI run: the optimized module computed
+    // for detection is reused by --coverage/--ilp/--dump-ir, and the
+    // coverage behind --coverage is reused by --asip, instead of each flag
+    // re-running the pipeline.
     pipeline::WorkloadInput input;
-    const auto prepared = pipeline::prepare(buffer.str(), options.file, input);
+    const pipeline::Session session(buffer.str(), options.file, input);
     std::printf("%s: %llu dynamic operations, main returned %d\n\n",
                 options.file.c_str(),
-                static_cast<unsigned long long>(prepared.total_cycles),
-                prepared.baseline_run.exit_code);
+                static_cast<unsigned long long>(session.total_cycles()),
+                session.prepared().baseline_run.exit_code);
 
-    const auto detection =
-        pipeline::analyze_level(prepared, options.level, options.detector);
+    const auto& detection = session.detection(options.level, options.detector);
     std::printf("--- chainable sequences at %s ---\n%s\n",
                 std::string(opt::to_string(options.level)).c_str(),
                 chain::render_top_sequences(detection, 20).c_str());
 
     if (options.run_coverage) {
-      const auto coverage =
-          pipeline::coverage_at_level(prepared, options.level, options.coverage);
+      const auto& coverage = session.coverage(options.level, options.coverage);
       std::printf("--- coverage ---\n%s\n", chain::render_coverage(coverage).c_str());
-      if (options.asip_area > 0.0) {
-        asip::SelectionOptions selection;
-        selection.area_budget = options.asip_area;
-        const auto proposal = asip::propose_extensions(
-            coverage, prepared.total_cycles, {}, selection);
-        std::printf("--- ASIP extension proposal ---\n%s\n",
-                    asip::render_proposal(proposal).c_str());
-      }
-    } else if (options.asip_area > 0.0) {
-      const auto coverage = pipeline::coverage_at_level(prepared, options.level,
-                                                        options.coverage);
+    }
+    if (options.asip_area > 0.0) {
       asip::SelectionOptions selection;
       selection.area_budget = options.asip_area;
-      const auto proposal =
-          asip::propose_extensions(coverage, prepared.total_cycles, {}, selection);
+      const auto& proposal =
+          session.extension(options.level, selection, {}, options.coverage);
       std::printf("--- ASIP extension proposal ---\n%s\n",
                   asip::render_proposal(proposal).c_str());
     }
 
     if (options.run_ilp) {
-      const ir::Module variant = pipeline::optimized_variant(prepared, options.level);
+      const ir::Module& variant = session.optimized(options.level);
       std::printf("--- ILP (ops/cycle) ---\n");
       for (int width : {1, 2, 4, 8}) {
         std::printf("  width %d: %.2f\n", width,
@@ -151,7 +142,7 @@ int main(int argc, char** argv) {
     }
 
     if (options.dump_ir) {
-      const ir::Module variant = pipeline::optimized_variant(prepared, options.level);
+      const ir::Module& variant = session.optimized(options.level);
       std::printf("--- optimized 3-address code ---\n%s\n",
                   ir::to_string(variant, /*with_counts=*/true).c_str());
     }

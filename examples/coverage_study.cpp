@@ -10,6 +10,7 @@
 #include <string>
 
 #include "chain/report.hpp"
+#include "pipeline/session.hpp"
 #include "workloads/suite.hpp"
 
 using namespace asipfb;
@@ -20,16 +21,14 @@ int main(int argc, char** argv) {
   if (argc > 2) options.floor_percent = std::atof(argv[2]);
 
   const auto& w = wl::workload(name);
-  const auto prepared = pipeline::prepare(w.source, w.name, w.input);
+  const pipeline::Session session(w.source, w.name, w.input);
   std::printf("benchmark: %s (%llu dynamic ops), significance floor %.1f%%\n\n",
               w.name.c_str(),
-              static_cast<unsigned long long>(prepared.total_cycles),
+              static_cast<unsigned long long>(session.total_cycles()),
               options.floor_percent);
 
-  const auto with_opt =
-      pipeline::coverage_at_level(prepared, opt::OptLevel::O1, options);
-  const auto without_opt =
-      pipeline::coverage_at_level(prepared, opt::OptLevel::O0, options);
+  const auto& with_opt = session.coverage(opt::OptLevel::O1, options);
+  const auto& without_opt = session.coverage(opt::OptLevel::O0, options);
 
   std::printf("--- with parallelizing optimizations (yes) ---\n%s\n",
               chain::render_coverage(with_opt).c_str());

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "chain/report.hpp"
+#include "pipeline/session.hpp"
 #include "workloads/suite.hpp"
 
 using namespace asipfb;
@@ -19,17 +20,20 @@ int main(int argc, char** argv) {
   std::printf("benchmark: %s — %s\n  data: %s\n\n", w.name.c_str(),
               w.description.c_str(), w.data_description.c_str());
 
-  auto prepared = pipeline::prepare(w.source, w.name, w.input);
+  const pipeline::Session session(w.source, w.name, w.input);
   std::printf("baseline: %llu dynamic operations\n\n",
-              static_cast<unsigned long long>(prepared.total_cycles));
+              static_cast<unsigned long long>(session.total_cycles()));
 
-  const auto reference = pipeline::execute(prepared.module, w.input, w.outputs);
+  ir::Module baseline = session.prepared().module;  // Copy: execute() mutates.
+  const auto reference = pipeline::execute(baseline, w.input, w.outputs);
 
   for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
     const std::string level_name{opt::to_string(level)};
 
     // Differential check: the optimized program must agree bit-for-bit.
-    ir::Module variant = pipeline::optimized_variant(prepared, level);
+    // The simulation runs on a copy; detection and coverage below reuse
+    // the Session's cached optimized module.
+    ir::Module variant = session.optimized(level);
     const auto run = pipeline::execute(variant, w.input, w.outputs);
     bool identical = run.exit_code == reference.exit_code;
     for (const auto& g : w.outputs) {
@@ -38,9 +42,9 @@ int main(int argc, char** argv) {
 
     std::printf("=== %s (outputs %s) ===\n", level_name.c_str(),
                 identical ? "bit-identical" : "MISMATCH!");
-    const auto detection = pipeline::analyze_level(prepared, level);
+    const auto& detection = session.detection(level);
     std::printf("%s", chain::render_top_sequences(detection, 10).c_str());
-    const auto coverage = pipeline::coverage_at_level(prepared, level);
+    const auto& coverage = session.coverage(level);
     std::printf("coverage:\n%s\n", chain::render_coverage(coverage).c_str());
   }
   return 0;

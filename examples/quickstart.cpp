@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "chain/report.hpp"
-#include "pipeline/driver.hpp"
+#include "pipeline/session.hpp"
 #include "support/rng.hpp"
 
 using namespace asipfb;
@@ -34,15 +34,17 @@ int main() {
   pipeline::WorkloadInput input;
   input.add("x", rng.int_array(64, -128, 127));
 
-  // 2. Compile + canonicalize + simulate with profiling (paper Fig. 2, steps 1-2).
-  const auto prepared = pipeline::prepare(kKernel, "quickstart", input);
+  // 2. One Session per workload: construction compiles + canonicalizes +
+  //    simulates with profiling (paper Fig. 2, steps 1-2); every analysis
+  //    asked of it afterwards is computed once and memoized.
+  const pipeline::Session session(kKernel, "quickstart", input);
   std::printf("program ran %llu operations, returned %d\n\n",
-              static_cast<unsigned long long>(prepared.total_cycles),
-              prepared.baseline_run.exit_code);
+              static_cast<unsigned long long>(session.total_cycles()),
+              session.prepared().baseline_run.exit_code);
 
   // 3. Detect chainable sequences at each optimization level (steps 3-4).
   for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
-    const auto result = pipeline::analyze_level(prepared, level);
+    const auto& result = session.detection(level);
     std::printf("--- top sequences at %s ---\n%s\n",
                 std::string(opt::to_string(level)).c_str(),
                 chain::render_top_sequences(result, 8).c_str());

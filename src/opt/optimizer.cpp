@@ -14,6 +14,13 @@ std::string_view to_string(OptLevel level) {
   return "?";
 }
 
+std::optional<OptLevel> parse_opt_level(std::string_view text) {
+  for (auto level : {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
+    if (text == to_string(level)) return level;
+  }
+  return std::nullopt;
+}
+
 OptimizeStats optimize(ir::Module& module, OptLevel level,
                        const OptimizeOptions& options) {
   OptimizeStats stats;

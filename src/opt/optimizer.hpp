@@ -9,6 +9,7 @@
 // without re-simulation.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "ir/function.hpp"
@@ -20,6 +21,10 @@ namespace asipfb::opt {
 enum class OptLevel { O0, O1, O2 };
 
 [[nodiscard]] std::string_view to_string(OptLevel level);
+
+/// Round-trip inverse of to_string(): "O0"/"O1"/"O2" (case-sensitive);
+/// nullopt for anything else.
+[[nodiscard]] std::optional<OptLevel> parse_opt_level(std::string_view text);
 
 struct OptimizeOptions {
   UnrollOptions unroll;

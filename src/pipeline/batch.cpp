@@ -5,85 +5,11 @@
 #include <functional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "workloads/suite.hpp"
 
 namespace asipfb::pipeline {
-
-PreparedCache::Entry& PreparedCache::entry_for(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return entries_[key];
-}
-
-const PreparedProgram& PreparedCache::get(const std::string& key,
-                                          std::string_view source,
-                                          const WorkloadInput& input) {
-  Entry& entry = entry_for(key);
-  // call_once serializes concurrent preparations of the same key.  Failures
-  // are caught and latched so an expensive failing prepare() runs once, not
-  // once per (workload, level) task.
-  std::call_once(entry.once, [&] {
-    entry.source = std::string(source);  // bind key to source even on failure
-    try {
-      entry.program = prepare(source, key, input);
-      entry.ready.store(true, std::memory_order_release);
-    } catch (const std::exception& ex) {
-      entry.error = ex.what();
-    } catch (...) {
-      entry.error = "preparation failed";
-    }
-  });
-  // Mismatch first, so a latched failure is never misattributed to a
-  // different source.  The content comparison is memcmp-cheap next to the
-  // prepare/analyze work this cache fronts.
-  if (entry.source != source) {
-    throw std::invalid_argument("PreparedCache key '" + key +
-                                "' already bound to a different source");
-  }
-  if (!entry.program.has_value()) {
-    throw std::runtime_error(entry.error);
-  }
-  return *entry.program;
-}
-
-const PreparedProgram& PreparedCache::get(const std::string& workload_name) {
-  const auto& w = wl::workload(workload_name);
-  return get(w.name, w.source, w.input);
-}
-
-std::size_t PreparedCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  // `ready` (not `program`) is read here: a call_once writer may be filling
-  // `program` concurrently, and the atomic is the published-completion flag.
-  return static_cast<std::size_t>(std::count_if(
-      entries_.begin(), entries_.end(), [](const auto& kv) {
-        return kv.second.ready.load(std::memory_order_acquire);
-      }));
-}
-
-void PreparedCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
-}
-
-PreparedCache& PreparedCache::instance() {
-  static PreparedCache cache;
-  return cache;
-}
-
-const BatchEntry* BatchResult::find(std::string_view workload,
-                                    opt::OptLevel level) const {
-  for (const auto& e : entries) {
-    if (e.workload == workload && e.level == level) return &e;
-  }
-  return nullptr;
-}
-
-std::size_t BatchResult::failures() const {
-  return static_cast<std::size_t>(
-      std::count_if(entries.begin(), entries.end(),
-                    [](const BatchEntry& e) { return !e.ok(); }));
-}
 
 namespace {
 
@@ -111,34 +37,279 @@ void parallel_for(std::size_t count, unsigned threads,
   for (auto& t : pool) t.join();
 }
 
-/// Shared fan-out: `prepare_job(j)` supplies job j's prepared program (it
-/// may throw; the failure lands in that job's entries), `name_of(j)` its
+SessionPool& pool_or_instance(SessionPool* pool) {
+  return pool != nullptr ? *pool : SessionPool::instance();
+}
+
+/// Shared fan-out: `session_of(j)` supplies workload j's Session (it may
+/// throw; the failure lands in that workload's entries), `name_of(j)` its
 /// display name.
-BatchResult run_entries(
-    std::size_t job_count, const BatchOptions& options,
+StageBatchResult run_stage_entries(
+    std::size_t job_count, const std::vector<StageRequest>& requests,
+    const StageBatchOptions& options,
     const std::function<std::string(std::size_t)>& name_of,
-    const std::function<const PreparedProgram&(std::size_t)>& prepare_job) {
-  BatchResult result;
-  result.entries.resize(job_count * options.levels.size());
+    const std::function<std::shared_ptr<Session>(std::size_t)>& session_of) {
+  StageBatchResult result;
+  result.entries.resize(job_count * requests.size());
   for (std::size_t j = 0; j < job_count; ++j) {
-    for (std::size_t l = 0; l < options.levels.size(); ++l) {
-      BatchEntry& e = result.entries[j * options.levels.size() + l];
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      StageResult& e = result.entries[j * requests.size() + r];
       e.workload = name_of(j);
-      e.level = options.levels[l];
+      e.request_index = r;
+      e.request = requests[r];
     }
   }
 
   parallel_for(result.entries.size(), options.threads, [&](std::size_t i) {
-    BatchEntry& e = result.entries[i];
+    StageResult& e = result.entries[i];
     try {
-      const PreparedProgram& p = prepare_job(i / options.levels.size());
-      e.result = analyze_level(p, e.level, options.detector, options.optimize);
+      const std::shared_ptr<Session> session = session_of(i / requests.size());
+      const StageRequest& r = e.request;
+      switch (r.stage) {
+        case Stage::kDetection:
+          e.detection = session->detection(r.level, r.detector, r.optimize);
+          break;
+        case Stage::kCoverage:
+          e.coverage = session->coverage(r.level, r.coverage, r.optimize);
+          break;
+        case Stage::kExtension:
+          e.extension = session->extension(r.level, r.selection, r.datapath,
+                                           r.coverage, r.optimize);
+          break;
+      }
     } catch (const std::exception& ex) {
       e.error = ex.what();
     } catch (...) {
       e.error = "unknown error";
     }
   });
+  return result;
+}
+
+}  // namespace
+
+std::string_view to_string(Stage stage) {
+  switch (stage) {
+    case Stage::kDetection: return "detection";
+    case Stage::kCoverage: return "coverage";
+    case Stage::kExtension: return "extension";
+  }
+  return "?";
+}
+
+StageRequest StageRequest::detection_at(opt::OptLevel level,
+                                        const chain::DetectorOptions& detector,
+                                        const opt::OptimizeOptions& optimize) {
+  StageRequest r;
+  r.stage = Stage::kDetection;
+  r.level = level;
+  r.detector = detector;
+  r.optimize = optimize;
+  return r;
+}
+
+StageRequest StageRequest::coverage_at(opt::OptLevel level,
+                                       const chain::CoverageOptions& coverage,
+                                       const opt::OptimizeOptions& optimize) {
+  StageRequest r;
+  r.stage = Stage::kCoverage;
+  r.level = level;
+  r.coverage = coverage;
+  r.optimize = optimize;
+  return r;
+}
+
+StageRequest StageRequest::extension_at(opt::OptLevel level,
+                                        const asip::SelectionOptions& selection,
+                                        const chain::CoverageOptions& coverage,
+                                        const asip::DatapathModel& datapath,
+                                        const opt::OptimizeOptions& optimize) {
+  StageRequest r;
+  r.stage = Stage::kExtension;
+  r.level = level;
+  r.selection = selection;
+  r.coverage = coverage;
+  r.datapath = datapath;
+  r.optimize = optimize;
+  return r;
+}
+
+const StageResult* StageBatchResult::find(std::string_view workload,
+                                          std::size_t request_index) const {
+  for (const auto& e : entries) {
+    if (e.request_index == request_index && e.workload == workload) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t StageBatchResult::failures() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(),
+                    [](const StageResult& e) { return !e.ok(); }));
+}
+
+StageBatchResult run_stages(const std::vector<std::string>& workloads,
+                            const std::vector<StageRequest>& requests,
+                            const StageBatchOptions& options,
+                            SessionPool* pool) {
+  SessionPool& sessions = pool_or_instance(pool);
+  return run_stage_entries(
+      workloads.size(), requests, options,
+      [&](std::size_t j) { return workloads[j]; },
+      [&](std::size_t j) {
+        // Throws std::out_of_range for names not in the suite.
+        return sessions.get(workloads[j]);
+      });
+}
+
+StageBatchResult run_stages(const std::vector<BatchJob>& jobs,
+                            const std::vector<StageRequest>& requests,
+                            const StageBatchOptions& options,
+                            SessionPool* pool) {
+  SessionPool& sessions = pool_or_instance(pool);
+  return run_stage_entries(
+      jobs.size(), requests, options,
+      [&](std::size_t j) { return jobs[j].name; },
+      [&](std::size_t j) {
+        return sessions.get(jobs[j].name, jobs[j].source, jobs[j].input);
+      });
+}
+
+// --- Design-space sweep -----------------------------------------------------
+
+std::size_t SweepResult::failures() const {
+  return static_cast<std::size_t>(
+      std::count_if(points.begin(), points.end(),
+                    [](const SweepPoint& p) { return !p.ok(); }));
+}
+
+SweepResult sweep(const std::vector<std::string>& workloads,
+                  const SweepOptions& options, SessionPool* pool) {
+  SessionPool& sessions = pool_or_instance(pool);
+  const std::size_t grid = options.levels.size() *
+                           options.floor_percents.size() *
+                           options.area_budgets.size();
+  SweepResult result;
+  result.points.resize(workloads.size() * grid);
+  std::size_t i = 0;
+  for (const auto& workload : workloads) {
+    for (auto level : options.levels) {
+      for (double floor : options.floor_percents) {
+        for (double budget : options.area_budgets) {
+          SweepPoint& p = result.points[i++];
+          p.workload = workload;
+          p.level = level;
+          p.floor_percent = floor;
+          p.area_budget = budget;
+        }
+      }
+    }
+  }
+
+  parallel_for(result.points.size(), options.threads, [&](std::size_t idx) {
+    SweepPoint& p = result.points[idx];
+    try {
+      const std::shared_ptr<Session> session = sessions.get(p.workload);
+      chain::CoverageOptions cov = options.coverage;
+      cov.floor_percent = p.floor_percent;
+      asip::SelectionOptions sel = options.selection;
+      sel.area_budget = p.area_budget;
+      // Memoization shares the heavy sub-artifacts across the grid: one
+      // optimization per level, one coverage per (level, floor); only the
+      // cheap selection runs per (floor, budget) point.
+      const auto& coverage =
+          session->coverage(p.level, cov, options.optimize);
+      const auto& proposal = session->extension(p.level, sel, options.datapath,
+                                                cov, options.optimize);
+      p.total_coverage = coverage.total_coverage;
+      p.coverage_steps = coverage.steps.size();
+      p.selected = proposal.selected.size();
+      p.total_area = proposal.total_area;
+      p.speedup = proposal.speedup();
+    } catch (const std::exception& ex) {
+      p.error = ex.what();
+    } catch (...) {
+      p.error = "unknown error";
+    }
+  });
+  return result;
+}
+
+SweepResult sweep_suite(const SweepOptions& options, SessionPool* pool) {
+  std::vector<std::string> names;
+  names.reserve(wl::suite().size());
+  for (const auto& w : wl::suite()) names.push_back(w.name);
+  return sweep(names, options, pool);
+}
+
+// --- Legacy detection-only batch API ----------------------------------------
+
+PreparedCache::PreparedCache()
+    : owned_(std::make_unique<SessionPool>()), pool_(owned_.get()) {}
+
+PreparedCache::PreparedCache(SessionPool& shared) : pool_(&shared) {}
+
+const PreparedProgram& PreparedCache::get(const std::string& key,
+                                          std::string_view source,
+                                          const WorkloadInput& input) {
+  return pool_->get(key, source, input)->prepared();
+}
+
+const PreparedProgram& PreparedCache::get(const std::string& workload_name) {
+  return pool_->get(workload_name)->prepared();
+}
+
+std::shared_ptr<Session> PreparedCache::session(
+    const std::string& workload_name) {
+  return pool_->get(workload_name);
+}
+
+std::size_t PreparedCache::size() const { return pool_->size(); }
+
+void PreparedCache::clear() { pool_->clear(); }
+
+PreparedCache& PreparedCache::instance() {
+  static PreparedCache cache(SessionPool::instance());
+  return cache;
+}
+
+const BatchEntry* BatchResult::find(std::string_view workload,
+                                    opt::OptLevel level) const {
+  for (const auto& e : entries) {
+    if (e.workload == workload && e.level == level) return &e;
+  }
+  return nullptr;
+}
+
+std::size_t BatchResult::failures() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(),
+                    [](const BatchEntry& e) { return !e.ok(); }));
+}
+
+namespace {
+
+std::vector<StageRequest> detection_requests(const BatchOptions& options) {
+  std::vector<StageRequest> requests;
+  requests.reserve(options.levels.size());
+  for (auto level : options.levels) {
+    requests.push_back(
+        StageRequest::detection_at(level, options.detector, options.optimize));
+  }
+  return requests;
+}
+
+BatchResult to_batch_result(StageBatchResult stages) {
+  BatchResult result;
+  result.entries.reserve(stages.entries.size());
+  for (auto& e : stages.entries) {
+    BatchEntry be;
+    be.workload = std::move(e.workload);
+    be.level = e.request.level;
+    if (e.detection.has_value()) be.result = std::move(*e.detection);
+    be.error = std::move(e.error);
+    result.entries.push_back(std::move(be));
+  }
   return result;
 }
 
@@ -150,23 +321,16 @@ PreparedCache& cache_or_instance(PreparedCache* cache) {
 
 BatchResult run_batch(const std::vector<BatchJob>& jobs,
                       const BatchOptions& options, PreparedCache* cache) {
-  PreparedCache& prepared = cache_or_instance(cache);
-  return run_entries(
-      jobs.size(), options, [&](std::size_t j) { return jobs[j].name; },
-      [&](std::size_t j) -> const PreparedProgram& {
-        return prepared.get(jobs[j].name, jobs[j].source, jobs[j].input);
-      });
+  return to_batch_result(run_stages(jobs, detection_requests(options),
+                                    {options.threads},
+                                    &cache_or_instance(cache).pool()));
 }
 
 BatchResult run_batch(const std::vector<std::string>& workloads,
                       const BatchOptions& options, PreparedCache* cache) {
-  PreparedCache& prepared = cache_or_instance(cache);
-  return run_entries(
-      workloads.size(), options, [&](std::size_t j) { return workloads[j]; },
-      [&](std::size_t j) -> const PreparedProgram& {
-        // Throws std::out_of_range for names not in the suite.
-        return prepared.get(workloads[j]);
-      });
+  return to_batch_result(run_stages(workloads, detection_requests(options),
+                                    {options.threads},
+                                    &cache_or_instance(cache).pool()));
 }
 
 BatchResult run_suite(const BatchOptions& options, PreparedCache* cache) {

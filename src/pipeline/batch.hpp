@@ -1,52 +1,198 @@
-// Parallel batch execution of the paper's experiment matrix.
+// Parallel fan-out of pipeline stage requests over many workloads.
 //
-// The evaluation repeatedly needs "analyze every workload at every
-// optimization level" — 12 benchmarks x {O0, O1, O2} = 36 independent
-// analyses that previously ran as hand-rolled serial loops in each bench
-// driver and test, each with its own static PreparedProgram cache.  This
-// module centralizes both halves:
+// The evaluation repeatedly needs "run stage X on every workload at every
+// optimization level" — detection for the figure/table drivers, coverage
+// for section 7, extension selection for the ASIP-design loop.  This
+// module is a thread-pool front end over pipeline::Session:
 //
-//   * PreparedCache — a thread-safe, process-wide cache that compiles and
-//     profiles each workload exactly once (prepare() runs a full
-//     simulation, by far the most expensive step), no matter how many
-//     threads or call sites ask for it.
-//   * run_batch()/run_suite() — a thread-pool fan-out of analyze_level()
-//     over (workload, level) pairs.  Every task writes its own result
-//     slot and analyze_level() is a pure function of the prepared
-//     program, so results are bit-identical regardless of thread count;
-//     entries come back in deterministic (workload-major, level-minor)
-//     order.  A workload that fails to compile, simulate, or analyze
-//     surfaces as BatchEntry::error instead of tearing down the batch.
+//   * run_stages() — the general fan-out: every (workload, StageRequest)
+//     pair becomes one task.  Sessions come from a SessionPool (each
+//     workload compiled + profiled exactly once, no matter how many
+//     threads ask) and every stage artifact is memoized per normalized
+//     option set, so overlapping requests — e.g. an extension request and
+//     the coverage request it builds on — share work instead of repeating
+//     it.  Results are bit-identical regardless of thread count; entries
+//     come back in deterministic (workload-major, request-minor) order,
+//     and a workload that fails to compile, simulate, or analyze surfaces
+//     as a per-entry error instead of tearing down the batch.
+//   * sweep() — design-space exploration: a grid of (level, coverage
+//     floor, area budget) points across workloads, reporting coverage and
+//     the proposed extension's speedup/area at every point.  Shared
+//     sub-artifacts (the optimized module per level, the coverage per
+//     floor) are computed once per Session and reused across the grid.
+//   * run_batch()/run_suite() — the historical detection-only batch API,
+//     now a thin shim over run_stages(); PreparedCache likewise wraps
+//     SessionPool.  Kept so existing callers and tests keep compiling.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <map>
-#include <mutex>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "asip/extension.hpp"
+#include "chain/coverage.hpp"
 #include "chain/detect.hpp"
 #include "opt/optimizer.hpp"
 #include "pipeline/driver.hpp"
+#include "pipeline/session.hpp"
 
 namespace asipfb::pipeline {
 
+/// One unit of work: a named BenchC program with its input bindings.
+struct BatchJob {
+  std::string name;
+  std::string source;
+  WorkloadInput input;
+};
+
+// --- General stage fan-out --------------------------------------------------
+
+/// Which Session stage a request runs.
+enum class Stage { kDetection, kCoverage, kExtension };
+
+[[nodiscard]] std::string_view to_string(Stage stage);
+
+/// One stage invocation: the stage, the optimization level, and the option
+/// structs the stage consumes (unused ones are ignored).  Build with the
+/// factory helpers for readability.
+struct StageRequest {
+  Stage stage = Stage::kDetection;
+  opt::OptLevel level = opt::OptLevel::O0;
+  chain::DetectorOptions detector;   ///< kDetection only.
+  chain::CoverageOptions coverage;   ///< kCoverage and kExtension.
+  asip::SelectionOptions selection;  ///< kExtension only.
+  asip::DatapathModel datapath;      ///< kExtension only.
+  opt::OptimizeOptions optimize;
+
+  static StageRequest detection_at(opt::OptLevel level,
+                                   const chain::DetectorOptions& detector = {},
+                                   const opt::OptimizeOptions& optimize = {});
+  static StageRequest coverage_at(opt::OptLevel level,
+                                  const chain::CoverageOptions& coverage = {},
+                                  const opt::OptimizeOptions& optimize = {});
+  static StageRequest extension_at(opt::OptLevel level,
+                                   const asip::SelectionOptions& selection = {},
+                                   const chain::CoverageOptions& coverage = {},
+                                   const asip::DatapathModel& datapath = {},
+                                   const opt::OptimizeOptions& optimize = {});
+};
+
+/// Outcome of one (workload, request) task.  Exactly one artifact optional
+/// is engaged on success (matching request.stage); all are empty on error.
+/// Artifacts are value copies out of the Session cache, so they survive
+/// pool clears and Session teardown.
+struct StageResult {
+  std::string workload;
+  std::size_t request_index = 0;  ///< Index into the submitted request list.
+  StageRequest request;
+  std::optional<chain::DetectionResult> detection;
+  std::optional<chain::CoverageResult> coverage;
+  std::optional<asip::ExtensionProposal> extension;
+  std::string error;  ///< Nonempty when the task failed.
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct StageBatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned threads = 0;
+};
+
+struct StageBatchResult {
+  /// Workload-major (input order), request-minor (request order) —
+  /// independent of thread count.
+  std::vector<StageResult> entries;
+
+  /// Entry for (workload, request index); nullptr when absent.
+  [[nodiscard]] const StageResult* find(std::string_view workload,
+                                        std::size_t request_index) const;
+  /// Number of failed entries.
+  [[nodiscard]] std::size_t failures() const;
+};
+
+/// Fans every request out over every suite workload name on a thread pool.
+/// `pool` defaults to SessionPool::instance().
+[[nodiscard]] StageBatchResult run_stages(
+    const std::vector<std::string>& workloads,
+    const std::vector<StageRequest>& requests,
+    const StageBatchOptions& options = {}, SessionPool* pool = nullptr);
+
+/// As above for explicit source + input jobs.
+[[nodiscard]] StageBatchResult run_stages(
+    const std::vector<BatchJob>& jobs,
+    const std::vector<StageRequest>& requests,
+    const StageBatchOptions& options = {}, SessionPool* pool = nullptr);
+
+// --- Design-space sweep -----------------------------------------------------
+
+/// The exploration grid: every (level, floor_percent, area_budget)
+/// combination is one design point per workload.
+struct SweepOptions {
+  std::vector<opt::OptLevel> levels = {opt::OptLevel::O0, opt::OptLevel::O1,
+                                       opt::OptLevel::O2};
+  std::vector<double> floor_percents = {4.0};  ///< Coverage significance floors.
+  std::vector<double> area_budgets = {40.0};   ///< Extension area budgets.
+  chain::CoverageOptions coverage;   ///< Base coverage options (floor swept).
+  asip::SelectionOptions selection;  ///< Base selection options (area swept).
+  asip::DatapathModel datapath;
+  opt::OptimizeOptions optimize;
+  unsigned threads = 0;  ///< 0 means hardware_concurrency().
+};
+
+/// One design point: what the customized ASIP achieves for `workload` at
+/// this (level, floor, budget) corner.
+struct SweepPoint {
+  std::string workload;
+  opt::OptLevel level = opt::OptLevel::O0;
+  double floor_percent = 0.0;
+  double area_budget = 0.0;
+
+  double total_coverage = 0.0;      ///< Coverage of the selected sequences.
+  std::size_t coverage_steps = 0;   ///< Chained instructions above the floor.
+  std::size_t selected = 0;         ///< Candidates chosen under the budget.
+  double total_area = 0.0;          ///< Area actually spent.
+  double speedup = 1.0;             ///< Estimated customized-ASIP speedup.
+  std::string error;                ///< Nonempty when the point failed.
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+struct SweepResult {
+  /// Workload-major, then levels x floors x budgets in grid order —
+  /// independent of thread count.
+  std::vector<SweepPoint> points;
+
+  [[nodiscard]] std::size_t failures() const;
+};
+
+/// Explores the grid over the named suite workloads on a thread pool.
+/// Shared sub-artifacts are memoized per Session, so the grid costs one
+/// optimization per level, one coverage per (level, floor), and one
+/// selection per point — not |points| full pipeline runs.
+[[nodiscard]] SweepResult sweep(const std::vector<std::string>& workloads,
+                                const SweepOptions& options = {},
+                                SessionPool* pool = nullptr);
+
+/// The full 12-workload paper suite (Table 1 order).
+[[nodiscard]] SweepResult sweep_suite(const SweepOptions& options = {},
+                                      SessionPool* pool = nullptr);
+
+// --- Legacy detection-only batch API (shims over run_stages) ----------------
+
 /// Thread-safe cache of prepared (compiled + profiled) programs, keyed by
-/// workload name.  Preparation runs at most once per key — success or
-/// failure; concurrent requests for the same key block until the first
-/// finishes.  A failed preparation is latched: later gets for the key
-/// rethrow the recorded error instead of re-running the expensive
-/// compile+simulate.  Returned references stay valid for the cache's
-/// lifetime.
+/// workload name — a compatibility wrapper around SessionPool that hands
+/// out the prepared baselines of pooled Sessions.  The SessionPool
+/// contracts apply: one preparation per key, latched failures, and a key
+/// bound to its first source (a different source for the same key throws
+/// std::invalid_argument).  References stay valid until clear().
 class PreparedCache {
  public:
-  /// Prepare (or fetch) by explicit source + input, under `key`.  A key is
-  /// bound to its first source: asking for the same key with different
-  /// source text throws std::invalid_argument instead of silently serving
-  /// the wrong program.
+  PreparedCache();
+
+  /// Prepare (or fetch) by explicit source + input, under `key`.
   const PreparedProgram& get(const std::string& key, std::string_view source,
                              const WorkloadInput& input);
 
@@ -54,40 +200,29 @@ class PreparedCache {
   /// throws std::out_of_range for unknown names.
   const PreparedProgram& get(const std::string& workload_name);
 
+  /// The memoizing Session behind a suite workload — the upgrade path from
+  /// this cache to the Session API.
+  std::shared_ptr<Session> session(const std::string& workload_name);
+
+  /// The underlying pool (for run_stages()/sweep() interop).
+  [[nodiscard]] SessionPool& pool() { return *pool_; }
+
   /// Number of successfully prepared programs currently cached.
   [[nodiscard]] std::size_t size() const;
 
-  /// Drops every cached entry (including latched failures), so long-lived
-  /// batch processes and tests can release stale programs instead of
-  /// growing without bound.  Invalidates all references returned by get();
-  /// the caller must ensure no concurrent get() is in flight and no
-  /// borrowed reference is still in use.
+  /// Drops every cached entry (including latched failures).  Invalidates
+  /// all references returned by get(); the caller must ensure no
+  /// concurrent get() is in flight and no borrowed reference is in use.
   void clear();
 
-  /// Process-wide instance shared by bench drivers and tests, so one
-  /// binary never profiles the same workload twice.
+  /// Process-wide instance (wraps SessionPool::instance()).
   static PreparedCache& instance();
 
  private:
-  struct Entry {
-    std::once_flag once;
-    std::optional<PreparedProgram> program;
-    std::atomic<bool> ready{false};  ///< Set (release) once `program` is filled.
-    std::string source;              ///< Source text bound to this key.
-    std::string error;               ///< Latched failure; rethrown on later gets.
-  };
+  explicit PreparedCache(SessionPool& shared);
 
-  Entry& entry_for(const std::string& key);
-
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  // node-based: references stay valid
-};
-
-/// One unit of work: a named BenchC program with its input bindings.
-struct BatchJob {
-  std::string name;
-  std::string source;
-  WorkloadInput input;
+  std::unique_ptr<SessionPool> owned_;  ///< Null for the instance() wrapper.
+  SessionPool* pool_;
 };
 
 struct BatchOptions {
@@ -100,7 +235,7 @@ struct BatchOptions {
   opt::OptimizeOptions optimize;
 };
 
-/// Outcome of one (workload, level) analysis.
+/// Outcome of one (workload, level) detection.
 struct BatchEntry {
   std::string workload;
   opt::OptLevel level = opt::OptLevel::O0;
@@ -122,7 +257,7 @@ struct BatchResult {
   [[nodiscard]] std::size_t failures() const;
 };
 
-/// Fan analyze_level() out over jobs x options.levels on a thread pool.
+/// Fan detection out over jobs x options.levels on a thread pool.
 /// `cache` defaults to PreparedCache::instance().
 [[nodiscard]] BatchResult run_batch(const std::vector<BatchJob>& jobs,
                                     const BatchOptions& options = {},

@@ -3,6 +3,7 @@
 #include "frontend/compile.hpp"
 #include "ir/verifier.hpp"
 #include "opt/cleanup.hpp"
+#include "pipeline/session.hpp"
 
 namespace asipfb::pipeline {
 
@@ -71,34 +72,31 @@ PreparedProgram prepare_multi(std::string_view source, std::string name,
   return prepared;
 }
 
+// The deprecated free-function stages below run through a transient Session
+// (one per call): the option normalization and stage plumbing live in
+// exactly one place, at the cost of a baseline copy the memoizing API
+// doesn't pay.  Held Sessions answer repeated queries from cache instead.
+
 ir::Module optimized_variant(const PreparedProgram& prepared, opt::OptLevel level,
                              const opt::OptimizeOptions& options) {
-  ir::Module variant = prepared.module;  // Value copy, profile included.
-  opt::optimize(variant, level, options);
-  ir::verify_or_throw(variant);
-  return variant;
+  const Session session(prepared);
+  return session.optimized(level, options);
 }
 
 chain::DetectionResult analyze_level(const PreparedProgram& prepared,
                                      opt::OptLevel level,
                                      const chain::DetectorOptions& detector,
                                      const opt::OptimizeOptions& options) {
-  const ir::Module variant = optimized_variant(prepared, level, options);
-  chain::DetectorOptions opts = detector;
-  // Without the parallelizing scheduler (O0) only textually adjacent
-  // operations can be fused; see DetectorOptions::require_adjacency.
-  if (level == opt::OptLevel::O0) opts.require_adjacency = true;
-  return chain::detect_sequences(variant, opts, prepared.total_cycles);
+  const Session session(prepared);
+  return session.detection(level, detector, options);
 }
 
 chain::CoverageResult coverage_at_level(const PreparedProgram& prepared,
                                         opt::OptLevel level,
                                         const chain::CoverageOptions& coverage,
                                         const opt::OptimizeOptions& options) {
-  const ir::Module variant = optimized_variant(prepared, level, options);
-  chain::CoverageOptions opts = coverage;
-  if (level == opt::OptLevel::O0) opts.require_adjacency = true;
-  return chain::coverage_analysis(variant, opts, prepared.total_cycles);
+  const Session session(prepared);
+  return session.coverage(level, coverage, options);
 }
 
 }  // namespace asipfb::pipeline

@@ -72,19 +72,29 @@ struct PreparedProgram {
 [[nodiscard]] PreparedProgram prepare_multi(std::string_view source, std::string name,
                                             const std::vector<WorkloadInput>& inputs);
 
+// --- Deprecated free-function stages ----------------------------------------
+// The functions below are thin compatibility shims over pipeline::Session
+// (pipeline/session.hpp), kept so out-of-tree callers and existing tests
+// keep compiling.  They re-run the full stage computation on every call;
+// new code should hold a Session (or fetch one from SessionPool), which
+// memoizes every downstream artifact per normalized option set.
+
 /// Step 3 for one level: a verified optimized copy of the baseline.
+/// Deprecated — use Session::optimized(), which caches the variant.
 [[nodiscard]] ir::Module optimized_variant(const PreparedProgram& prepared,
                                            opt::OptLevel level,
                                            const opt::OptimizeOptions& options = {});
 
 /// Steps 3-4 for one level: sequence detection on the optimized program,
 /// denominated in the baseline's total cycles.
+/// Deprecated — use Session::detection(), which caches the result.
 [[nodiscard]] chain::DetectionResult analyze_level(
     const PreparedProgram& prepared, opt::OptLevel level,
     const chain::DetectorOptions& detector = {},
     const opt::OptimizeOptions& options = {});
 
 /// Coverage analysis (section 7) at one level.
+/// Deprecated — use Session::coverage(), which caches the result.
 [[nodiscard]] chain::CoverageResult coverage_at_level(
     const PreparedProgram& prepared, opt::OptLevel level,
     const chain::CoverageOptions& coverage = {},

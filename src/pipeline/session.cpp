@@ -1,0 +1,333 @@
+#include "pipeline/session.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "ir/verifier.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb::pipeline {
+
+namespace {
+
+/// Serializes option-struct fields into an exact byte string used as the
+/// memoization key.  Doubles are keyed by bit pattern: two options structs
+/// collide only when every field is bit-identical, which is exactly the
+/// "same computation" guarantee the cache needs.
+class KeyBuilder {
+ public:
+  KeyBuilder& add(double v) { return add_bytes(&v, sizeof v); }
+  KeyBuilder& add(std::uint64_t v) { return add_bytes(&v, sizeof v); }
+  KeyBuilder& add(std::int64_t v) { return add_bytes(&v, sizeof v); }
+  KeyBuilder& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  KeyBuilder& add(bool v) {
+    bytes_.push_back(v ? '\1' : '\0');
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() && { return std::move(bytes_); }
+
+ private:
+  KeyBuilder& add_bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const char*>(p);
+    bytes_.append(c, n);
+    return *this;
+  }
+
+  std::string bytes_;
+};
+
+// --- Option normalization ---------------------------------------------------
+// Requests that provably compute the same artifact must share one cache
+// entry, so the rules optimize()/analyze_level() apply internally are baked
+// into the keys here.
+
+/// optimize() ignores every knob at O0 and forces chain_preserving per
+/// level (O1 preserves, O2 moves ops individually); see optimizer.cpp.
+opt::OptimizeOptions normalize(opt::OptLevel level,
+                               const opt::OptimizeOptions& options) {
+  if (level == opt::OptLevel::O0) return {};
+  opt::OptimizeOptions n = options;
+  n.percolation.chain_preserving = level == opt::OptLevel::O1;
+  return n;
+}
+
+/// Without the parallelizing scheduler (O0) only textually adjacent
+/// operations can be fused; the driver has always forced adjacency there.
+chain::DetectorOptions normalize(opt::OptLevel level,
+                                 const chain::DetectorOptions& detector) {
+  chain::DetectorOptions n = detector;
+  if (level == opt::OptLevel::O0) n.require_adjacency = true;
+  return n;
+}
+
+chain::CoverageOptions normalize(opt::OptLevel level,
+                                 const chain::CoverageOptions& coverage) {
+  chain::CoverageOptions n = coverage;
+  if (level == opt::OptLevel::O0) n.require_adjacency = true;
+  return n;
+}
+
+// --- Key construction (over normalized options) -----------------------------
+
+KeyBuilder& add_optimize(KeyBuilder& kb, opt::OptLevel level,
+                         const opt::OptimizeOptions& o) {
+  kb.add(static_cast<int>(level))
+      .add(o.unroll.factor)
+      .add(o.unroll.max_loop_instrs)
+      .add(o.percolation.max_passes)
+      .add(o.percolation.speculate)
+      .add(o.percolation.speculate_loads)
+      .add(o.percolation.chain_preserving)
+      .add(o.final_dce);
+  return kb;
+}
+
+std::string optimize_key(opt::OptLevel level, const opt::OptimizeOptions& o) {
+  KeyBuilder kb;
+  return std::move(add_optimize(kb, level, o)).str();
+}
+
+std::string detection_key(opt::OptLevel level, const chain::DetectorOptions& d,
+                          const opt::OptimizeOptions& o) {
+  KeyBuilder kb;
+  add_optimize(kb, level, o)
+      .add(d.min_length)
+      .add(d.max_length)
+      .add(d.prune_percent)
+      .add(d.require_adjacency)
+      .add(d.max_occurrences);
+  return std::move(kb).str();
+}
+
+KeyBuilder& add_coverage(KeyBuilder& kb, const chain::CoverageOptions& c) {
+  kb.add(c.min_length)
+      .add(c.max_length)
+      .add(c.floor_percent)
+      .add(c.max_rounds)
+      .add(c.require_adjacency);
+  return kb;
+}
+
+std::string coverage_key(opt::OptLevel level, const chain::CoverageOptions& c,
+                         const opt::OptimizeOptions& o) {
+  KeyBuilder kb;
+  add_coverage(add_optimize(kb, level, o), c);
+  return std::move(kb).str();
+}
+
+std::string extension_key(opt::OptLevel level, const asip::SelectionOptions& s,
+                          const asip::DatapathModel& m,
+                          const chain::CoverageOptions& c,
+                          const opt::OptimizeOptions& o) {
+  KeyBuilder kb;
+  add_coverage(add_optimize(kb, level, o), c)
+      .add(s.area_budget)
+      .add(s.cycle_budget)
+      .add(m.chain_overhead_area);
+  return std::move(kb).str();
+}
+
+}  // namespace
+
+// --- Session ----------------------------------------------------------------
+
+Session::Session(std::string_view source, std::string name,
+                 const WorkloadInput& input)
+    : prepared_(prepare(source, std::move(name), input)) {}
+
+Session::Session(std::string_view source, std::string name,
+                 const std::vector<WorkloadInput>& inputs)
+    : prepared_(prepare_multi(source, std::move(name), inputs)) {}
+
+Session::Session(PreparedProgram prepared) : prepared_(std::move(prepared)) {}
+
+template <typename T, typename Fn>
+const T& Session::memoize(StageCache<T>& cache, const std::string& key,
+                          std::atomic<std::uint64_t>& runs, Fn&& compute) const {
+  Slot<T>* slot;
+  {
+    const std::lock_guard<std::mutex> lock(cache.mu);
+    slot = &cache.slots[key];
+  }
+  // call_once serializes concurrent computations of the same key; the map
+  // mutex is released first, so distinct keys compute in parallel.  A
+  // throwing computation is latched — repeated queries rethrow instead of
+  // re-running an expensive failing stage.
+  bool ran = false;
+  std::call_once(slot->once, [&] {
+    ran = true;
+    runs.fetch_add(1, std::memory_order_relaxed);
+    try {
+      slot->value.emplace(compute());
+    } catch (const std::exception& ex) {
+      slot->error = ex.what();
+    } catch (...) {
+      slot->error = "pipeline stage failed";
+    }
+  });
+  if (!ran) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!slot->value.has_value()) throw std::runtime_error(slot->error);
+  return *slot->value;
+}
+
+const ir::Module& Session::optimized(opt::OptLevel level,
+                                     const opt::OptimizeOptions& options) const {
+  const opt::OptimizeOptions norm = normalize(level, options);
+  return memoize(optimized_, optimize_key(level, norm), optimize_runs_, [&] {
+    ir::Module variant = prepared_.module;  // Value copy, profile included.
+    opt::optimize(variant, level, norm);
+    ir::verify_or_throw(variant);
+    return variant;
+  });
+}
+
+const chain::DetectionResult& Session::detection(
+    opt::OptLevel level, const chain::DetectorOptions& detector,
+    const opt::OptimizeOptions& options) const {
+  const opt::OptimizeOptions opt_norm = normalize(level, options);
+  const chain::DetectorOptions det_norm = normalize(level, detector);
+  return memoize(detections_, detection_key(level, det_norm, opt_norm),
+                 detect_runs_, [&]() {
+                   return chain::detect_sequences(optimized(level, opt_norm),
+                                                  det_norm,
+                                                  prepared_.total_cycles);
+                 });
+}
+
+const chain::CoverageResult& Session::coverage(
+    opt::OptLevel level, const chain::CoverageOptions& coverage,
+    const opt::OptimizeOptions& options) const {
+  const opt::OptimizeOptions opt_norm = normalize(level, options);
+  const chain::CoverageOptions cov_norm = normalize(level, coverage);
+  return memoize(coverages_, coverage_key(level, cov_norm, opt_norm),
+                 coverage_runs_, [&]() {
+                   return chain::coverage_analysis(optimized(level, opt_norm),
+                                                   cov_norm,
+                                                   prepared_.total_cycles);
+                 });
+}
+
+const asip::ExtensionProposal& Session::extension(
+    opt::OptLevel level, const asip::SelectionOptions& selection,
+    const asip::DatapathModel& model, const chain::CoverageOptions& cov,
+    const opt::OptimizeOptions& options) const {
+  const opt::OptimizeOptions opt_norm = normalize(level, options);
+  const chain::CoverageOptions cov_norm = normalize(level, cov);
+  return memoize(
+      extensions_,
+      extension_key(level, selection, model, cov_norm, opt_norm),
+      extension_runs_, [&]() {
+        return asip::propose_extensions(coverage(level, cov_norm, opt_norm),
+                                        prepared_.total_cycles, model,
+                                        selection);
+      });
+}
+
+void Session::clear() {
+  const std::lock_guard<std::mutex> lock_opt(optimized_.mu);
+  const std::lock_guard<std::mutex> lock_det(detections_.mu);
+  const std::lock_guard<std::mutex> lock_cov(coverages_.mu);
+  const std::lock_guard<std::mutex> lock_ext(extensions_.mu);
+  optimized_.slots.clear();
+  detections_.slots.clear();
+  coverages_.slots.clear();
+  extensions_.slots.clear();
+}
+
+Session::Stats Session::stats() const {
+  Stats s;
+  s.optimize_runs = optimize_runs_.load(std::memory_order_relaxed);
+  s.detect_runs = detect_runs_.load(std::memory_order_relaxed);
+  s.coverage_runs = coverage_runs_.load(std::memory_order_relaxed);
+  s.extension_runs = extension_runs_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- SessionPool ------------------------------------------------------------
+
+SessionPool::Entry& SessionPool::entry_for(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_[key];
+}
+
+std::shared_ptr<Session> SessionPool::get(const std::string& key,
+                                          std::string_view source,
+                                          const WorkloadInput& input) {
+  Entry& entry = entry_for(key);
+  std::call_once(entry.once, [&] {
+    entry.source = std::string(source);  // bind key to source even on failure
+    try {
+      entry.session = std::make_shared<Session>(source, key, input);
+      entry.ready.store(true, std::memory_order_release);
+    } catch (const std::exception& ex) {
+      entry.error = ex.what();
+    } catch (...) {
+      entry.error = "preparation failed";
+    }
+  });
+  // Mismatch first, so a latched failure is never misattributed to a
+  // different source.
+  if (entry.source != source) {
+    throw std::invalid_argument("SessionPool key '" + key +
+                                "' already bound to a different source");
+  }
+  if (entry.session == nullptr) {
+    throw std::runtime_error(entry.error);
+  }
+  return entry.session;
+}
+
+std::shared_ptr<Session> SessionPool::get(const std::string& workload_name) {
+  const auto& w = wl::workload(workload_name);
+  return get(w.name, w.source, w.input);
+}
+
+std::shared_ptr<Session> SessionPool::put(const std::string& key,
+                                          PreparedProgram prepared,
+                                          std::string_view source) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) {
+    throw std::invalid_argument("SessionPool key '" + key + "' already bound");
+  }
+  Entry& entry = it->second;
+  std::call_once(entry.once, [&] {
+    if (source.empty()) {
+      // Sentinel (never valid BenchC — leading NUL, explicit length): a
+      // later get() under this key reports a mismatch instead of serving
+      // an adopted baseline the caller never tied to real source text.
+      entry.source.assign("\0<adopted baseline>", 20);
+    } else {
+      entry.source = std::string(source);
+    }
+    entry.session = std::make_shared<Session>(std::move(prepared));
+    entry.ready.store(true, std::memory_order_release);
+  });
+  return entry.session;
+}
+
+std::size_t SessionPool::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, entry] : entries_) {
+    // `ready` (not `session`) is read here: a call_once writer may be
+    // filling `session` concurrently; the atomic is the completion flag.
+    if (entry.ready.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+void SessionPool::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+SessionPool& SessionPool::instance() {
+  static SessionPool pool;
+  return pool;
+}
+
+}  // namespace asipfb::pipeline

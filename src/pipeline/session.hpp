@@ -1,0 +1,205 @@
+// Session-based pipeline API: one memoizing handle for the whole Figure-1
+// feedback loop.
+//
+// The paper's flow is a *loop* — profile, analyze, propose an extension,
+// re-evaluate — and a production service answering many concurrent,
+// repeated analysis queries must not re-run percolation scheduling or the
+// branch-and-bound sequence search for a question it has already answered.
+// A Session owns one prepared (compiled + canonicalized + profiled)
+// baseline and lazily computes + memoizes every downstream artifact:
+//
+//   optimized()  — ir::Module            per (OptLevel, OptimizeOptions)
+//   detection()  — chain::DetectionResult per (level, DetectorOptions, ...)
+//   coverage()   — chain::CoverageResult  per (level, CoverageOptions, ...)
+//   extension()  — asip::ExtensionProposal per (level, SelectionOptions,
+//                                              DatapathModel, coverage key)
+//
+// Option structs are *normalized* before keying (e.g. O0 always analyzes
+// with require_adjacency, optimize() ignores every knob at O0 and forces
+// chain preservation per level), so two requests that provably compute the
+// same artifact share one cache entry.  Memoization is per-artifact and
+// thread-safe: concurrent queries for the same key block on one
+// computation (std::call_once) and then share the same immutable object;
+// queries for different keys run in parallel.  Returned references stay
+// valid for the Session's lifetime.
+//
+// SessionPool is the process-wide directory of Sessions, keyed by workload
+// name — the service front door.  The legacy free functions in driver.hpp
+// and the PreparedCache in batch.hpp are thin shims over these two types.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asip/extension.hpp"
+#include "chain/coverage.hpp"
+#include "chain/detect.hpp"
+#include "opt/optimizer.hpp"
+#include "pipeline/driver.hpp"
+
+namespace asipfb::pipeline {
+
+class Session {
+ public:
+  /// Compile + canonicalize + profile `source` (driver prepare()); throws
+  /// on compile/verify/simulation failure.
+  Session(std::string_view source, std::string name, const WorkloadInput& input);
+
+  /// As above, profiling over several sample data sets (prepare_multi()).
+  Session(std::string_view source, std::string name,
+          const std::vector<WorkloadInput>& inputs);
+
+  /// Adopts an already-prepared baseline (no re-simulation).  The artifact
+  /// caches start empty.
+  explicit Session(PreparedProgram prepared);
+
+  // One handle per workload; artifacts hand out interior references.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The shared baseline: canonicalized IR with O0 profile counts.
+  [[nodiscard]] const PreparedProgram& prepared() const { return prepared_; }
+  [[nodiscard]] const std::string& name() const { return prepared_.module.name; }
+  /// Frequency denominator common to every analysis of this Session.
+  [[nodiscard]] std::uint64_t total_cycles() const { return prepared_.total_cycles; }
+
+  /// Step 3: verified optimized copy of the baseline, memoized.
+  const ir::Module& optimized(opt::OptLevel level,
+                              const opt::OptimizeOptions& options = {}) const;
+
+  /// Steps 3-4: sequence detection on the optimized program, memoized.
+  const chain::DetectionResult& detection(
+      opt::OptLevel level, const chain::DetectorOptions& detector = {},
+      const opt::OptimizeOptions& options = {}) const;
+
+  /// Section 7: iterative coverage analysis, memoized.
+  const chain::CoverageResult& coverage(
+      opt::OptLevel level, const chain::CoverageOptions& coverage = {},
+      const opt::OptimizeOptions& options = {}) const;
+
+  /// The ASIP-design box of Figure 1: price the coverage candidates with
+  /// the datapath model and select under the budgets, memoized.
+  const asip::ExtensionProposal& extension(
+      opt::OptLevel level, const asip::SelectionOptions& selection = {},
+      const asip::DatapathModel& model = {},
+      const chain::CoverageOptions& coverage = {},
+      const opt::OptimizeOptions& options = {}) const;
+
+  /// Drops every memoized artifact (the prepared baseline stays), so a
+  /// long-lived Session serving many distinct option sets can bound its
+  /// footprint.  Invalidates all references previously returned by the
+  /// stage queries; the caller must ensure no concurrent query is in
+  /// flight and no borrowed reference is still in use.  The stats()
+  /// counters keep accumulating across clears.
+  void clear();
+
+  /// Stage-invocation counters: `*_runs` count actual computations (cache
+  /// misses), `hits` counts queries served from cache.  Tests pin the
+  /// "repeated query performs zero re-optimization/re-detection" contract
+  /// with these.
+  struct Stats {
+    std::uint64_t optimize_runs = 0;
+    std::uint64_t detect_runs = 0;
+    std::uint64_t coverage_runs = 0;
+    std::uint64_t extension_runs = 0;
+    std::uint64_t hits = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// One memoization slot: call_once guards the computation, the optional
+  /// holds the artifact, a latched error is rethrown on later queries.
+  template <typename T>
+  struct Slot {
+    std::once_flag once;
+    std::optional<T> value;
+    std::string error;
+  };
+
+  /// Per-stage cache: a node-based map from normalized option keys to
+  /// slots, so references to artifacts stay valid as the map grows.
+  template <typename T>
+  struct StageCache {
+    std::mutex mu;                    ///< Guards the map, not computations.
+    std::map<std::string, Slot<T>> slots;
+  };
+
+  template <typename T, typename Fn>
+  const T& memoize(StageCache<T>& cache, const std::string& key,
+                   std::atomic<std::uint64_t>& runs, Fn&& compute) const;
+
+  PreparedProgram prepared_;
+
+  mutable StageCache<ir::Module> optimized_;
+  mutable StageCache<chain::DetectionResult> detections_;
+  mutable StageCache<chain::CoverageResult> coverages_;
+  mutable StageCache<asip::ExtensionProposal> extensions_;
+
+  mutable std::atomic<std::uint64_t> optimize_runs_{0};
+  mutable std::atomic<std::uint64_t> detect_runs_{0};
+  mutable std::atomic<std::uint64_t> coverage_runs_{0};
+  mutable std::atomic<std::uint64_t> extension_runs_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+};
+
+/// Thread-safe directory of Sessions keyed by workload name: the shared
+/// front door for batch runners, bench drivers, and tests, so one process
+/// never compiles or profiles the same workload twice.  Preparation runs at
+/// most once per key — success or failure; concurrent requests for the same
+/// key block until the first finishes, and a failed preparation is latched
+/// (later gets rethrow the recorded error).  A key is bound to its first
+/// source text: reusing it with different source throws
+/// std::invalid_argument instead of silently serving the wrong program.
+class SessionPool {
+ public:
+  /// Prepare (or fetch) by explicit source + input, under `key`.
+  std::shared_ptr<Session> get(const std::string& key, std::string_view source,
+                               const WorkloadInput& input);
+
+  /// Prepare (or fetch) a suite workload by name (wl::workload lookup);
+  /// throws std::out_of_range for unknown names.
+  std::shared_ptr<Session> get(const std::string& workload_name);
+
+  /// Adopts an already-prepared baseline under `key` (fresh artifact
+  /// caches, no re-simulation); throws std::invalid_argument if the key is
+  /// already bound.  `source` is the text the key binds to: pass the
+  /// program's real source so later get()s for the same key resolve to
+  /// this Session (the batch runners' by-name lookup path); leave it empty
+  /// to bind an unmatchable sentinel instead.  Bench drivers use this to
+  /// time cold analyses against a warm baseline.
+  std::shared_ptr<Session> put(const std::string& key, PreparedProgram prepared,
+                               std::string_view source = {});
+
+  /// Number of successfully prepared Sessions currently pooled.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Drops every entry (including latched failures).  Sessions still held
+  /// via shared_ptr stay alive; the pool just forgets them.
+  void clear();
+
+  /// Process-wide instance.
+  static SessionPool& instance();
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<Session> session;
+    std::atomic<bool> ready{false};  ///< Set (release) once `session` is filled.
+    std::string source;              ///< Source text bound to this key.
+    std::string error;               ///< Latched failure; rethrown on later gets.
+  };
+
+  Entry& entry_for(const std::string& key);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // node-based: references stay valid
+};
+
+}  // namespace asipfb::pipeline

@@ -10,16 +10,18 @@
 
 #include "asip/extension.hpp"
 #include "opt/ilp.hpp"
-#include "pipeline/batch.hpp"
+#include "pipeline/session.hpp"
 #include "workloads/suite.hpp"
 
 namespace asipfb {
 namespace {
 
-const pipeline::PreparedProgram& prepared(const std::string& name) {
-  // Shared process-wide cache (pipeline/batch.hpp): each workload is
-  // compiled and profiled at most once across the whole test binary.
-  return pipeline::PreparedCache::instance().get(name);
+const pipeline::Session& session(const std::string& name) {
+  // Shared process-wide pool (pipeline/session.hpp): each workload is
+  // compiled and profiled at most once across the whole test binary, and
+  // each (stage, level) artifact computed once no matter how many claims
+  // below read it.
+  return *pipeline::SessionPool::instance().get(name);
 }
 
 /// Suite-combined frequency of one signature: equal-weight mean over all
@@ -29,7 +31,7 @@ double combined_frequency(const char* signature, opt::OptLevel level) {
   EXPECT_TRUE(sig.has_value());
   double sum = 0.0;
   for (const auto& w : wl::suite()) {
-    sum += pipeline::analyze_level(prepared(w.name), level).frequency_of(*sig);
+    sum += session(w.name).detection(level).frequency_of(*sig);
   }
   return sum / static_cast<double>(wl::suite().size());
 }
@@ -88,9 +90,9 @@ TEST(PaperClaims, CoverageImprovesWithOptimizationTable3) {
   // end's tree-ordered 3AC is already chain-friendly; see EXPERIMENTS.md).
   int improved = 0;
   for (const char* name : {"sewha", "feowf", "bspline", "edge"}) {
-    const auto& p = prepared(name);
-    const auto no_opt = pipeline::coverage_at_level(p, opt::OptLevel::O0);
-    const auto with_opt = pipeline::coverage_at_level(p, opt::OptLevel::O1);
+    const auto& s = session(name);
+    const auto& no_opt = s.coverage(opt::OptLevel::O0);
+    const auto& with_opt = s.coverage(opt::OptLevel::O1);
     EXPECT_GT(with_opt.total_coverage, no_opt.total_coverage) << name;
     if (with_opt.total_coverage > no_opt.total_coverage) ++improved;
   }
@@ -101,11 +103,9 @@ TEST(PaperClaims, RenamingHelpsIlpDespiteHurtingChains) {
   double ilp_o1 = 0.0;
   double ilp_o2 = 0.0;
   for (const char* name : {"fir", "smooth", "bspline", "feowf"}) {
-    const auto& p = prepared(name);
-    ir::Module m1 = pipeline::optimized_variant(p, opt::OptLevel::O1);
-    ir::Module m2 = pipeline::optimized_variant(p, opt::OptLevel::O2);
-    ilp_o1 += opt::measure_ilp(m1, 8).ops_per_cycle;
-    ilp_o2 += opt::measure_ilp(m2, 8).ops_per_cycle;
+    const auto& s = session(name);
+    ilp_o1 += opt::measure_ilp(s.optimized(opt::OptLevel::O1), 8).ops_per_cycle;
+    ilp_o2 += opt::measure_ilp(s.optimized(opt::OptLevel::O2), 8).ops_per_cycle;
   }
   EXPECT_GT(ilp_o2, ilp_o1) << "renaming must raise achievable ILP";
 }
@@ -115,9 +115,7 @@ TEST(PaperClaims, FeedbackDrivenExtensionsYieldSpeedup) {
   // must produce a measurable cycle-count reduction on the suite.
   double total_speedup = 0.0;
   for (const char* name : {"fir", "iir", "sewha", "bspline", "edge"}) {
-    const auto& p = prepared(name);
-    const auto coverage = pipeline::coverage_at_level(p, opt::OptLevel::O1);
-    const auto proposal = asip::propose_extensions(coverage, p.total_cycles);
+    const auto& proposal = session(name).extension(opt::OptLevel::O1);
     EXPECT_GE(proposal.speedup(), 1.0) << name;
     total_speedup += proposal.speedup();
   }
@@ -130,16 +128,14 @@ TEST(PaperClaims, MoreSequencesDetectedWithOptimization) {
   int o0_count = 0;
   int o1_count = 0;
   for (const auto& w : wl::suite()) {
-    const auto& p = prepared(w.name);
+    const auto& s = session(w.name);
     chain::DetectorOptions len2;
     len2.min_length = 2;
     len2.max_length = 2;
-    for (const auto& stat :
-         pipeline::analyze_level(p, opt::OptLevel::O0, len2).sequences) {
+    for (const auto& stat : s.detection(opt::OptLevel::O0, len2).sequences) {
       if (stat.frequency >= 1.0) ++o0_count;
     }
-    for (const auto& stat :
-         pipeline::analyze_level(p, opt::OptLevel::O1, len2).sequences) {
+    for (const auto& stat : s.detection(opt::OptLevel::O1, len2).sequences) {
       if (stat.frequency >= 1.0) ++o1_count;
     }
   }

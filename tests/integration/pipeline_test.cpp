@@ -1,28 +1,25 @@
-// Structural invariants of the end-to-end flow on every benchmark.
+// Structural invariants of the end-to-end flow on every benchmark,
+// expressed through the memoizing Session API: every TEST_P below queries
+// the same per-workload Session, so each (stage, level) artifact is
+// computed once per test binary no matter how many assertions read it.
 #include <gtest/gtest.h>
 
-#include <map>
-
 #include "ir/verifier.hpp"
+#include "pipeline/session.hpp"
 #include "workloads/suite.hpp"
 
 namespace asipfb {
 namespace {
 
-const pipeline::PreparedProgram& prepared(const std::string& name) {
-  static std::map<std::string, pipeline::PreparedProgram> cache;
-  auto it = cache.find(name);
-  if (it == cache.end()) {
-    const auto& w = wl::workload(name);
-    it = cache.emplace(name, pipeline::prepare(w.source, w.name, w.input)).first;
-  }
-  return it->second;
+const pipeline::Session& session(const std::string& name) {
+  static pipeline::SessionPool pool;
+  return *pool.get(name);
 }
 
 class PipelinePerWorkload : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(PipelinePerWorkload, BaselineProfileIsConsistent) {
-  const auto& p = prepared(GetParam());
+  const auto& p = session(GetParam()).prepared();
   EXPECT_GT(p.total_cycles, 0u);
   EXPECT_EQ(p.total_cycles, p.baseline_run.steps);
   EXPECT_EQ(p.baseline_run.oob_loads, 0u)
@@ -31,36 +28,34 @@ TEST_P(PipelinePerWorkload, BaselineProfileIsConsistent) {
 }
 
 TEST_P(PipelinePerWorkload, AllLevelsVerify) {
-  const auto& p = prepared(GetParam());
+  const auto& s = session(GetParam());
   for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
-    const ir::Module variant = pipeline::optimized_variant(p, level);
-    EXPECT_TRUE(ir::verify(variant).empty())
+    EXPECT_TRUE(ir::verify(s.optimized(level)).empty())
         << GetParam() << " at " << std::string(opt::to_string(level));
   }
 }
 
 TEST_P(PipelinePerWorkload, DetectionSharesDenominatorAcrossLevels) {
-  const auto& p = prepared(GetParam());
-  const auto d0 = pipeline::analyze_level(p, opt::OptLevel::O0);
-  const auto d1 = pipeline::analyze_level(p, opt::OptLevel::O1);
-  const auto d2 = pipeline::analyze_level(p, opt::OptLevel::O2);
-  EXPECT_EQ(d0.total_cycles, p.total_cycles);
-  EXPECT_EQ(d1.total_cycles, p.total_cycles);
-  EXPECT_EQ(d2.total_cycles, p.total_cycles);
+  const auto& s = session(GetParam());
+  const auto& d0 = s.detection(opt::OptLevel::O0);
+  const auto& d1 = s.detection(opt::OptLevel::O1);
+  const auto& d2 = s.detection(opt::OptLevel::O2);
+  EXPECT_EQ(d0.total_cycles, s.total_cycles());
+  EXPECT_EQ(d1.total_cycles, s.total_cycles());
+  EXPECT_EQ(d2.total_cycles, s.total_cycles());
 }
 
 TEST_P(PipelinePerWorkload, SequencesDetectedAtOptimizedLevels) {
-  const auto& p = prepared(GetParam());
-  const auto d1 = pipeline::analyze_level(p, opt::OptLevel::O1);
+  const auto& d1 = session(GetParam()).detection(opt::OptLevel::O1);
   EXPECT_FALSE(d1.sequences.empty()) << "every DSP kernel has chains";
   EXPECT_GT(d1.regions, 0u);
   EXPECT_GT(d1.paths, 0u);
 }
 
 TEST_P(PipelinePerWorkload, FrequenciesWithinBounds) {
-  const auto& p = prepared(GetParam());
+  const auto& s = session(GetParam());
   for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
-    const auto d = pipeline::analyze_level(p, level);
+    const auto& d = s.detection(level);
     for (const auto& stat : d.sequences) {
       EXPECT_GT(stat.frequency, 0.0);
       EXPECT_LE(stat.frequency, 100.0);
@@ -72,9 +67,9 @@ TEST_P(PipelinePerWorkload, O0AdjacencyIsSubsetOfO1Regions) {
   // Every sequence the no-scheduler analysis finds must also be reachable
   // for the scheduled analysis at the same or higher frequency, because
   // O1 edges are a superset (same weights after count-preserving unroll).
-  const auto& p = prepared(GetParam());
-  const auto d0 = pipeline::analyze_level(p, opt::OptLevel::O0);
-  const auto d1 = pipeline::analyze_level(p, opt::OptLevel::O1);
+  const auto& s = session(GetParam());
+  const auto& d0 = s.detection(opt::OptLevel::O0);
+  const auto& d1 = s.detection(opt::OptLevel::O1);
   int regressions = 0;
   for (const auto& stat : d0.sequences) {
     if (d1.frequency_of(stat.signature) + 1e-6 < stat.frequency) ++regressions;
@@ -85,9 +80,9 @@ TEST_P(PipelinePerWorkload, O0AdjacencyIsSubsetOfO1Regions) {
 }
 
 TEST_P(PipelinePerWorkload, CoverageWellFormedAtAllLevels) {
-  const auto& p = prepared(GetParam());
+  const auto& s = session(GetParam());
   for (auto level : {opt::OptLevel::O0, opt::OptLevel::O1}) {
-    const auto cov = pipeline::coverage_at_level(p, level);
+    const auto& cov = s.coverage(level);
     EXPECT_LE(cov.total_coverage, 100.0 + 1e-9);
     for (const auto& step : cov.steps) {
       EXPECT_GE(step.frequency, 4.0 - 1e-9) << "default floor";

@@ -80,6 +80,20 @@ TEST(Optimizer, LevelNames) {
   EXPECT_EQ(to_string(OptLevel::O2), "O2");
 }
 
+TEST(Optimizer, ParseOptLevelRoundTripsEveryLevel) {
+  for (auto level : {OptLevel::O0, OptLevel::O1, OptLevel::O2}) {
+    const auto parsed = parse_opt_level(to_string(level));
+    ASSERT_TRUE(parsed.has_value()) << to_string(level);
+    EXPECT_EQ(*parsed, level);
+  }
+}
+
+TEST(Optimizer, ParseOptLevelRejectsUnknownText) {
+  for (const char* bad : {"", "O3", "o1", "O", "O1 ", " O1", "0", "high"}) {
+    EXPECT_FALSE(parse_opt_level(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
 TEST(Optimizer, ProfileWeightSurvivesO1) {
   auto m = prepared(kProgram);
   const std::uint64_t before = m.total_dynamic_ops();

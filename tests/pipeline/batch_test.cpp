@@ -165,6 +165,145 @@ TEST(Batch, PreparedCacheClearDropsEntriesAndAllowsReuse) {
   EXPECT_EQ(local.size(), 1u);
 }
 
+TEST(Stages, MixedStageFanOutRunsEveryRequestPerWorkload) {
+  asip::SelectionOptions selection;
+  selection.area_budget = 20.0;
+  const std::vector<StageRequest> requests = {
+      StageRequest::detection_at(opt::OptLevel::O1),
+      StageRequest::coverage_at(opt::OptLevel::O1),
+      StageRequest::extension_at(opt::OptLevel::O1, selection),
+  };
+  const auto batch =
+      run_stages(std::vector<std::string>{"fir", "iir"}, requests);
+  ASSERT_EQ(batch.entries.size(), 6u);
+  EXPECT_EQ(batch.failures(), 0u);
+
+  // Workload-major, request-minor order; exactly the requested artifact
+  // engaged per entry.
+  for (std::size_t i = 0; i < batch.entries.size(); ++i) {
+    const StageResult& e = batch.entries[i];
+    EXPECT_EQ(e.workload, i < 3 ? "fir" : "iir");
+    EXPECT_EQ(e.request_index, i % 3);
+    EXPECT_EQ(e.detection.has_value(), e.request.stage == Stage::kDetection);
+    EXPECT_EQ(e.coverage.has_value(), e.request.stage == Stage::kCoverage);
+    EXPECT_EQ(e.extension.has_value(), e.request.stage == Stage::kExtension);
+  }
+
+  // find() locates by (workload, request index).
+  const StageResult* ext = batch.find("iir", 2);
+  ASSERT_NE(ext, nullptr);
+  ASSERT_TRUE(ext->extension.has_value());
+  EXPECT_LE(ext->extension->total_area, 20.0);
+  EXPECT_EQ(batch.find("fir", 3), nullptr);
+  EXPECT_EQ(batch.find("nonexistent", 0), nullptr);
+}
+
+TEST(Stages, ResultsMatchDirectSessionQueries) {
+  const std::vector<StageRequest> requests = {
+      StageRequest::detection_at(opt::OptLevel::O2)};
+  const auto batch = run_stages(std::vector<std::string>{"edge"}, requests);
+  ASSERT_EQ(batch.entries.size(), 1u);
+  ASSERT_TRUE(batch.entries[0].ok()) << batch.entries[0].error;
+
+  const auto session = SessionPool::instance().get("edge");
+  const auto& direct = session->detection(opt::OptLevel::O2);
+  const auto& batched = *batch.entries[0].detection;
+  EXPECT_EQ(batched.total_cycles, direct.total_cycles);
+  EXPECT_EQ(batched.paths, direct.paths);
+  ASSERT_EQ(batched.sequences.size(), direct.sequences.size());
+  for (std::size_t i = 0; i < direct.sequences.size(); ++i) {
+    EXPECT_EQ(batched.sequences[i].signature, direct.sequences[i].signature);
+    EXPECT_EQ(batched.sequences[i].frequency, direct.sequences[i].frequency);
+  }
+}
+
+TEST(Stages, UnknownWorkloadReportsPerEntryErrors) {
+  const std::vector<StageRequest> requests = {
+      StageRequest::detection_at(opt::OptLevel::O0),
+      StageRequest::coverage_at(opt::OptLevel::O1)};
+  const auto batch =
+      run_stages(std::vector<std::string>{"no_such_workload"}, requests);
+  ASSERT_EQ(batch.entries.size(), 2u);
+  EXPECT_EQ(batch.failures(), 2u);
+  for (const auto& e : batch.entries) {
+    EXPECT_FALSE(e.ok());
+    EXPECT_FALSE(e.error.empty());
+    EXPECT_FALSE(e.detection.has_value());
+    EXPECT_FALSE(e.coverage.has_value());
+    EXPECT_FALSE(e.extension.has_value());
+  }
+}
+
+TEST(Stages, RunsOverAPutSeededPool) {
+  // The bench drivers' cold-timing pattern: adopt warm baselines into a
+  // fresh pool (binding the real source), then fan out by name.
+  SessionPool pool;
+  const auto& w = wl::workload("fir");
+  pool.put(w.name, prepare(w.source, w.name, w.input), w.source);
+  const auto batch = run_stages(
+      std::vector<std::string>{"fir"},
+      {StageRequest::detection_at(opt::OptLevel::O1)}, {}, &pool);
+  ASSERT_EQ(batch.entries.size(), 1u);
+  EXPECT_EQ(batch.failures(), 0u) << batch.entries[0].error;
+  ASSERT_TRUE(batch.entries[0].detection.has_value());
+  EXPECT_FALSE(batch.entries[0].detection->sequences.empty());
+  EXPECT_EQ(pool.size(), 1u) << "the adopted baseline must be reused";
+}
+
+TEST(Sweep, GridShapeOrderAndThreadCountDeterminism) {
+  SweepOptions options;
+  options.levels = {opt::OptLevel::O0, opt::OptLevel::O1};
+  options.floor_percents = {4.0};
+  options.area_budgets = {10.0, 40.0};
+  options.threads = 1;
+  const auto serial = sweep(std::vector<std::string>{"fir"}, options);
+  ASSERT_EQ(serial.points.size(), 4u);
+  EXPECT_EQ(serial.failures(), 0u);
+
+  // Grid order: level-major, then floor, then budget.
+  EXPECT_EQ(serial.points[0].level, opt::OptLevel::O0);
+  EXPECT_EQ(serial.points[0].area_budget, 10.0);
+  EXPECT_EQ(serial.points[1].level, opt::OptLevel::O0);
+  EXPECT_EQ(serial.points[1].area_budget, 40.0);
+  EXPECT_EQ(serial.points[2].level, opt::OptLevel::O1);
+  EXPECT_EQ(serial.points[3].level, opt::OptLevel::O1);
+
+  options.threads = std::max(2u, std::thread::hardware_concurrency());
+  const auto parallel = sweep(std::vector<std::string>{"fir"}, options);
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(parallel.points[i].workload, serial.points[i].workload);
+    EXPECT_EQ(parallel.points[i].level, serial.points[i].level);
+    EXPECT_EQ(parallel.points[i].total_coverage, serial.points[i].total_coverage);
+    EXPECT_EQ(parallel.points[i].selected, serial.points[i].selected);
+    EXPECT_EQ(parallel.points[i].total_area, serial.points[i].total_area);
+    EXPECT_EQ(parallel.points[i].speedup, serial.points[i].speedup);
+  }
+}
+
+TEST(Sweep, SharesSubArtifactsAcrossTheGrid) {
+  SessionPool pool;
+  SweepOptions options;
+  options.levels = {opt::OptLevel::O1};
+  options.floor_percents = {2.0, 4.0};
+  options.area_budgets = {10.0, 40.0, 80.0};
+  const auto result = sweep(std::vector<std::string>{"sewha"}, options, &pool);
+  ASSERT_EQ(result.points.size(), 6u);
+  EXPECT_EQ(result.failures(), 0u);
+
+  // A larger budget can only widen the selection.
+  EXPECT_LE(result.points[0].selected, result.points[1].selected);
+  EXPECT_LE(result.points[1].selected, result.points[2].selected);
+
+  // Memoization across the grid: one optimization for the level, one
+  // coverage per floor, one selection per point.
+  const auto session = pool.get("sewha");
+  const Session::Stats stats = session->stats();
+  EXPECT_EQ(stats.optimize_runs, 1u);
+  EXPECT_EQ(stats.coverage_runs, 2u);
+  EXPECT_EQ(stats.extension_runs, 6u);
+}
+
 TEST(Batch, CustomLevelsAndDetectorOptionsRespected) {
   BatchOptions options;
   options.levels = {opt::OptLevel::O1};

@@ -1,0 +1,311 @@
+// The Session memoization contract (pipeline/session.hpp):
+//
+//   * same-options queries return the identical cached artifact (same
+//     object, zero re-optimization/re-detection — pinned via the
+//     stage-invocation counters),
+//   * differing options miss, but share what they provably can (one
+//     optimized module feeds every detector/coverage configuration),
+//   * normalization folds equivalent requests onto one cache entry,
+//   * concurrent mixed-stage queries are race-free and bit-identical to
+//     serial execution,
+//   * one Session drives detection, coverage, and extension proposal for
+//     the same workload without re-preparing,
+//   * the legacy free functions are faithful shims over the same stages.
+#include "pipeline/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "pipeline/driver.hpp"
+#include "support/rng.hpp"
+
+namespace asipfb::pipeline {
+namespace {
+
+// Small but structurally rich: two loops, a MAC chain, address arithmetic.
+const char* const kKernel = R"(
+int x[64];
+int y[64];
+int main() {
+  int n;
+  for (n = 2; n < 62; n++) {
+    int acc = (x[n] + x[n - 2]) * 5;
+    acc += x[n - 1] * 9;
+    y[n] = acc >> 4;
+  }
+  int s = 0;
+  for (n = 0; n < 64; n++) s += y[n];
+  return s;
+}
+)";
+
+WorkloadInput kernel_input() {
+  Rng rng(2024);
+  WorkloadInput input;
+  input.add("x", rng.int_array(64, -128, 127));
+  return input;
+}
+
+void expect_same_detection(const chain::DetectionResult& a,
+                           const chain::DetectionResult& b,
+                           const std::string& context) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles) << context;
+  EXPECT_EQ(a.regions, b.regions) << context;
+  EXPECT_EQ(a.paths, b.paths) << context;
+  ASSERT_EQ(a.sequences.size(), b.sequences.size()) << context;
+  for (std::size_t i = 0; i < a.sequences.size(); ++i) {
+    EXPECT_EQ(a.sequences[i].signature, b.sequences[i].signature) << context;
+    EXPECT_EQ(a.sequences[i].cycles, b.sequences[i].cycles) << context;
+    EXPECT_EQ(a.sequences[i].occurrences, b.sequences[i].occurrences) << context;
+    EXPECT_EQ(a.sequences[i].frequency, b.sequences[i].frequency) << context;
+  }
+}
+
+void expect_same_coverage(const chain::CoverageResult& a,
+                          const chain::CoverageResult& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.total_coverage, b.total_coverage) << context;
+  EXPECT_EQ(a.total_cycles, b.total_cycles) << context;
+  ASSERT_EQ(a.steps.size(), b.steps.size()) << context;
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].signature, b.steps[i].signature) << context;
+    EXPECT_EQ(a.steps[i].frequency, b.steps[i].frequency) << context;
+    EXPECT_EQ(a.steps[i].cycles, b.steps[i].cycles) << context;
+    EXPECT_EQ(a.steps[i].occurrences_taken, b.steps[i].occurrences_taken)
+        << context;
+    EXPECT_EQ(a.steps[i].matches, b.steps[i].matches) << context;
+  }
+}
+
+void expect_same_proposal(const asip::ExtensionProposal& a,
+                          const asip::ExtensionProposal& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.total_area, b.total_area) << context;
+  EXPECT_EQ(a.baseline_cycles, b.baseline_cycles) << context;
+  EXPECT_EQ(a.customized_cycles, b.customized_cycles) << context;
+  ASSERT_EQ(a.candidates.size(), b.candidates.size()) << context;
+  ASSERT_EQ(a.selected.size(), b.selected.size()) << context;
+  for (std::size_t i = 0; i < a.selected.size(); ++i) {
+    EXPECT_EQ(a.selected[i].signature, b.selected[i].signature) << context;
+    EXPECT_EQ(a.selected[i].cycles_saved, b.selected[i].cycles_saved) << context;
+  }
+}
+
+TEST(Session, RepeatedQueryReturnsIdenticalArtifactWithZeroRecompute) {
+  const Session session(kKernel, "memo", kernel_input());
+
+  const auto& first = session.detection(opt::OptLevel::O1);
+  const Session::Stats after_first = session.stats();
+  EXPECT_EQ(after_first.detect_runs, 1u);
+  EXPECT_EQ(after_first.optimize_runs, 1u);
+
+  // The analyze_level-equivalent repeated query: same cached object, no
+  // re-optimization, no re-detection.
+  const auto& second = session.detection(opt::OptLevel::O1);
+  EXPECT_EQ(&first, &second) << "same options must serve the cached artifact";
+  const Session::Stats after_second = session.stats();
+  EXPECT_EQ(after_second.detect_runs, 1u) << "no re-detection";
+  EXPECT_EQ(after_second.optimize_runs, 1u) << "no re-optimization";
+  EXPECT_GT(after_second.hits, after_first.hits);
+}
+
+TEST(Session, DifferingOptionsMissButShareTheOptimizedModule) {
+  const Session session(kKernel, "miss", kernel_input());
+
+  const auto& wide = session.detection(opt::OptLevel::O1);
+  chain::DetectorOptions len2;
+  len2.min_length = 2;
+  len2.max_length = 2;
+  const auto& narrow = session.detection(opt::OptLevel::O1, len2);
+  EXPECT_NE(&wide, &narrow) << "different options are different artifacts";
+  for (const auto& stat : narrow.sequences) {
+    EXPECT_EQ(stat.signature.length(), 2u);
+  }
+
+  const Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.detect_runs, 2u);
+  EXPECT_EQ(stats.optimize_runs, 1u)
+      << "both detector configurations must reuse one optimized module";
+}
+
+TEST(Session, NormalizationFoldsEquivalentRequests) {
+  const Session session(kKernel, "norm", kernel_input());
+
+  // O0 always analyzes with the adjacency restriction, whatever the caller
+  // passes (the historical driver contract).
+  chain::DetectorOptions adjacency;
+  adjacency.require_adjacency = true;
+  EXPECT_EQ(&session.detection(opt::OptLevel::O0),
+            &session.detection(opt::OptLevel::O0, adjacency));
+
+  // optimize() ignores every knob at O0.
+  opt::OptimizeOptions unroll4;
+  unroll4.unroll.factor = 4;
+  EXPECT_EQ(&session.optimized(opt::OptLevel::O0),
+            &session.optimized(opt::OptLevel::O0, unroll4));
+
+  // chain_preserving is forced per level (true at O1, false at O2).
+  opt::OptimizeOptions no_preserve;
+  no_preserve.percolation.chain_preserving = false;
+  EXPECT_EQ(&session.optimized(opt::OptLevel::O1),
+            &session.optimized(opt::OptLevel::O1, no_preserve));
+  opt::OptimizeOptions preserve;
+  preserve.percolation.chain_preserving = true;
+  EXPECT_EQ(&session.optimized(opt::OptLevel::O2),
+            &session.optimized(opt::OptLevel::O2, preserve));
+
+  // A knob that genuinely changes the computation still misses.
+  EXPECT_NE(&session.optimized(opt::OptLevel::O1),
+            &session.optimized(opt::OptLevel::O1, unroll4));
+}
+
+TEST(Session, OneSessionDrivesTheWholeFigure1Loop) {
+  const Session session(kKernel, "loop", kernel_input());
+
+  const auto& detection = session.detection(opt::OptLevel::O1);
+  const auto& coverage = session.coverage(opt::OptLevel::O1);
+  const auto& proposal = session.extension(opt::OptLevel::O1);
+
+  // All three stages answered from one baseline (prepared once at
+  // construction) with one shared optimized module.
+  EXPECT_EQ(detection.total_cycles, session.total_cycles());
+  EXPECT_EQ(coverage.total_cycles, session.total_cycles());
+  EXPECT_EQ(proposal.baseline_cycles, session.total_cycles());
+  EXPECT_GE(proposal.speedup(), 1.0);
+
+  const Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.optimize_runs, 1u);
+  EXPECT_EQ(stats.detect_runs, 1u);
+  EXPECT_EQ(stats.coverage_runs, 1u)
+      << "extension() must reuse the coverage already computed";
+  EXPECT_EQ(stats.extension_runs, 1u);
+}
+
+TEST(Session, ClearDropsArtifactsButKeepsTheBaseline) {
+  Session session(kKernel, "clear", kernel_input());
+  const auto first_paths = session.detection(opt::OptLevel::O1).paths;
+  const std::uint64_t baseline = session.total_cycles();
+  EXPECT_EQ(session.stats().detect_runs, 1u);
+
+  session.clear();
+
+  // The baseline survives (no re-preparation), but artifacts are gone:
+  // the next query recomputes and yields the same deterministic result.
+  EXPECT_EQ(session.total_cycles(), baseline);
+  EXPECT_EQ(session.detection(opt::OptLevel::O1).paths, first_paths);
+  const Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.detect_runs, 2u) << "cleared artifacts recompute";
+  EXPECT_EQ(stats.optimize_runs, 2u);
+}
+
+TEST(Session, LegacyFreeFunctionsAreFaithfulShims) {
+  const PreparedProgram prepared = prepare(kKernel, "shim", kernel_input());
+  const Session session(prepared);
+
+  for (auto level :
+       {opt::OptLevel::O0, opt::OptLevel::O1, opt::OptLevel::O2}) {
+    const std::string context{opt::to_string(level)};
+    expect_same_detection(analyze_level(prepared, level),
+                          session.detection(level), context);
+    expect_same_coverage(coverage_at_level(prepared, level),
+                         session.coverage(level), context);
+    EXPECT_EQ(optimized_variant(prepared, level).instr_count(),
+              session.optimized(level).instr_count())
+        << context;
+  }
+}
+
+TEST(Session, ConcurrentMixedStageQueriesAreRaceFreeAndBitIdentical) {
+  // Serial reference.
+  const Session serial(kKernel, "serial", kernel_input());
+  const auto& d0 = serial.detection(opt::OptLevel::O0);
+  const auto& d1 = serial.detection(opt::OptLevel::O1);
+  const auto& d2 = serial.detection(opt::OptLevel::O2);
+  const auto& c1 = serial.coverage(opt::OptLevel::O1);
+  const auto& e1 = serial.extension(opt::OptLevel::O1);
+
+  // Concurrent: every thread issues the full mixed-stage query set in a
+  // thread-dependent order against one shared Session.
+  const Session shared(kKernel, "concurrent", kernel_input());
+  const unsigned n = std::max(4u, std::thread::hardware_concurrency());
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    threads.emplace_back([&, t] {
+      for (unsigned q = 0; q < 5; ++q) {
+        switch ((q + t) % 5) {
+          case 0: (void)shared.detection(opt::OptLevel::O0); break;
+          case 1: (void)shared.detection(opt::OptLevel::O1); break;
+          case 2: (void)shared.detection(opt::OptLevel::O2); break;
+          case 3: (void)shared.coverage(opt::OptLevel::O1); break;
+          case 4: (void)shared.extension(opt::OptLevel::O1); break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  expect_same_detection(d0, shared.detection(opt::OptLevel::O0), "O0");
+  expect_same_detection(d1, shared.detection(opt::OptLevel::O1), "O1");
+  expect_same_detection(d2, shared.detection(opt::OptLevel::O2), "O2");
+  expect_same_coverage(c1, shared.coverage(opt::OptLevel::O1), "coverage");
+  expect_same_proposal(e1, shared.extension(opt::OptLevel::O1), "extension");
+
+  // Every stage computed exactly once despite n concurrent askers.
+  const Session::Stats stats = shared.stats();
+  EXPECT_EQ(stats.detect_runs, 3u);
+  EXPECT_EQ(stats.coverage_runs, 1u);
+  EXPECT_EQ(stats.extension_runs, 1u);
+  EXPECT_EQ(stats.optimize_runs, 3u);
+}
+
+TEST(SessionPool, SharesOneSessionPerKeyAndLatchesFailures) {
+  SessionPool pool;
+  const auto first = pool.get("k", kKernel, kernel_input());
+  const auto second = pool.get("k", kKernel, kernel_input());
+  EXPECT_EQ(first.get(), second.get()) << "one Session per key";
+  EXPECT_EQ(pool.size(), 1u);
+
+  // A key is bound to its first source.
+  EXPECT_THROW((void)pool.get("k", "int main() { return 0; }", {}),
+               std::invalid_argument);
+
+  // Failures are latched and rethrown without re-preparing.
+  EXPECT_THROW((void)pool.get("bad", "int main() { return undefined; }", {}),
+               std::runtime_error);
+  EXPECT_THROW((void)pool.get("bad", "int main() { return undefined; }", {}),
+               std::runtime_error);
+  EXPECT_EQ(pool.size(), 1u) << "failed preparations must not count";
+
+  // clear() forgets everything, but live shared_ptrs stay usable.
+  pool.clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_GT(first->total_cycles(), 0u);
+}
+
+TEST(SessionPool, PutAdoptsABaselineUnderAFreshKey) {
+  SessionPool pool;
+  const PreparedProgram prepared = prepare(kKernel, "adopt", kernel_input());
+  const auto session = pool.put("adopt", prepared);
+  EXPECT_EQ(session->total_cycles(), prepared.total_cycles);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.put("other", prepared)->total_cycles(), prepared.total_cycles);
+
+  // The key is taken: a second put refuses, and without a bound source a
+  // source-keyed get refuses too (the sentinel never matches).
+  EXPECT_THROW((void)pool.put("adopt", prepared), std::invalid_argument);
+  EXPECT_THROW((void)pool.get("adopt", kKernel, kernel_input()),
+               std::invalid_argument);
+
+  // put() with the real source binds the key for later get()s: the same
+  // Session is served, no re-preparation.
+  const auto bound = pool.put("bound", prepared, kKernel);
+  EXPECT_EQ(pool.get("bound", kKernel, kernel_input()).get(), bound.get());
+  EXPECT_THROW((void)pool.get("bound", "int main() { return 0; }", {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace asipfb::pipeline
