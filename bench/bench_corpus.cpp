@@ -1,0 +1,232 @@
+// Generated-corpus service throughput: the full corpus (workloads/
+// generator.hpp — parameterized FIR/IIR/DFT/conv2d/histeq/fused scenarios)
+// through the Session-based pipeline.
+//
+// Three measurements:
+//   * differential: every scenario simulated and checked against its
+//     plain-C++ oracle outputs (a failing scenario fails the binary),
+//   * cold: pipeline::run_stages() detection over the whole corpus on a
+//     fresh SessionPool — compile + profile + optimize + detect per
+//     workload (the first-request service path), and
+//   * warm: the same fan-out again on the now-warm pool — the memoized
+//     steady-state service path.
+// Both are reported as workloads/second.
+//
+// Prints a per-family table, then emits BENCH_corpus.json in the current
+// directory (override the path with the first non-flag argument).
+// Timers: warm corpus fan-out, and one cold scenario for scale.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/json.hpp"
+#include "pipeline/batch.hpp"
+#include "support/table.hpp"
+#include "workloads/generator.hpp"
+
+namespace {
+
+using namespace asipfb;
+using Clock = std::chrono::steady_clock;
+
+struct FamilyStats {
+  int scenarios = 0;
+  int diff_pass = 0;
+  std::uint64_t dynamic_ops = 0;
+  std::uint64_t sequences = 0;
+};
+
+struct CorpusReport {
+  std::map<std::string, FamilyStats> families;  // Keyed by family name.
+  int diff_pass = 0;
+  int diff_fail = 0;
+  std::size_t stage_failures = 0;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+
+  [[nodiscard]] double cold_workloads_per_sec(std::size_t n) const {
+    return cold_seconds > 0.0 ? static_cast<double>(n) / cold_seconds : 0.0;
+  }
+  [[nodiscard]] double warm_workloads_per_sec(std::size_t n) const {
+    return warm_seconds > 0.0 ? static_cast<double>(n) / warm_seconds : 0.0;
+  }
+};
+
+std::string family_of(const std::string& scenario_name) {
+  const std::string_view family = wl::family_of(scenario_name);
+  return family.empty() ? scenario_name : std::string(family);
+}
+
+std::vector<pipeline::BatchJob> corpus_jobs() {
+  std::vector<pipeline::BatchJob> jobs;
+  for (const auto& w : wl::default_corpus()) {
+    jobs.push_back({w.name, w.source, w.input});
+  }
+  return jobs;
+}
+
+/// Simulates every scenario and compares outputs + exit code against the
+/// generator's oracle reference.
+void run_differential(CorpusReport& report) {
+  for (const auto& w : wl::default_corpus()) {
+    FamilyStats& fam = report.families[family_of(w.name)];
+    ++fam.scenarios;
+    bool ok = false;
+    try {
+      auto prepared = pipeline::prepare(w.source, w.name, w.input);
+      const auto run = pipeline::execute(prepared.module, w.input, w.outputs);
+      ok = wl::oracle_matches(w, run.exit_code, run.outputs);
+      fam.dynamic_ops += prepared.total_cycles;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "differential error in %s: %s\n", w.name.c_str(),
+                   e.what());
+    }
+    if (ok) {
+      ++report.diff_pass;
+      ++fam.diff_pass;
+    } else {
+      ++report.diff_fail;
+      std::fprintf(stderr, "sim-vs-oracle MISMATCH in %s\n", w.name.c_str());
+    }
+  }
+}
+
+/// One full-corpus detection fan-out against `pool`; returns wall seconds.
+double timed_fanout(const std::vector<pipeline::BatchJob>& jobs,
+                    pipeline::SessionPool& pool, CorpusReport& report,
+                    bool record_sequences) {
+  const std::vector<pipeline::StageRequest> requests = {
+      pipeline::StageRequest::detection_at(opt::OptLevel::O1)};
+  const auto start = Clock::now();
+  const auto batch = pipeline::run_stages(jobs, requests, {}, &pool);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.stage_failures += batch.failures();
+  if (record_sequences) {
+    for (const auto& e : batch.entries) {
+      if (e.ok() && e.detection.has_value()) {
+        report.families[family_of(e.workload)].sequences +=
+            e.detection->sequences.size();
+      }
+    }
+  }
+  return seconds;
+}
+
+void print_report(const CorpusReport& report, std::size_t total) {
+  std::printf("=== Generated corpus through the Session pipeline ===\n");
+  TextTable table({"Family", "Scenarios", "Oracle pass", "Dynamic ops",
+                   "Sequences @O1"});
+  for (const auto& [name, fam] : report.families) {
+    table.add_row({name, std::to_string(fam.scenarios),
+                   std::to_string(fam.diff_pass),
+                   std::to_string(fam.dynamic_ops),
+                   std::to_string(fam.sequences)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("oracle differential: %d/%zu pass\n", report.diff_pass, total);
+  std::printf("cold fan-out: %.3f s (%.1f workloads/s)\n", report.cold_seconds,
+              report.cold_workloads_per_sec(total));
+  std::printf("warm fan-out: %.3f s (%.1f workloads/s)\n\n", report.warm_seconds,
+              report.warm_workloads_per_sec(total));
+}
+
+std::string render_json(const CorpusReport& report, std::size_t total) {
+  bench::JsonWriter json;
+  json.begin_object()
+      .member("bench", "corpus")
+      .member("workloads", static_cast<std::uint64_t>(total))
+      .member("differential_pass", report.diff_pass)
+      .member("differential_fail", report.diff_fail)
+      .member("stage_failures", static_cast<std::uint64_t>(report.stage_failures))
+      .key("families")
+      .begin_array();
+  for (const auto& [name, fam] : report.families) {
+    json.inline_object()
+        .member("family", name)
+        .member("scenarios", fam.scenarios)
+        .member("oracle_pass", fam.diff_pass)
+        .member("dynamic_ops", fam.dynamic_ops)
+        .member("sequences_o1", fam.sequences)
+        .end_object();
+  }
+  json.end_array()
+      .key("cold")
+      .begin_object()
+      .member("seconds", report.cold_seconds)
+      .member("workloads_per_sec", report.cold_workloads_per_sec(total))
+      .end_object()
+      .key("warm")
+      .begin_object()
+      .member("seconds", report.warm_seconds)
+      .member("workloads_per_sec", report.warm_workloads_per_sec(total))
+      .end_object()
+      .end_object();
+  return json.str() + "\n";
+}
+
+void BM_CorpusWarmFanout(benchmark::State& state) {
+  // Steady-state service path: every artifact memoized, the fan-out only
+  // pays Session lookup + thread-pool overhead.
+  const auto jobs = corpus_jobs();
+  pipeline::SessionPool pool;
+  CorpusReport scratch;
+  (void)timed_fanout(jobs, pool, scratch, /*record_sequences=*/false);
+  for (auto _ : state) {
+    CorpusReport r;
+    benchmark::DoNotOptimize(timed_fanout(jobs, pool, r, false));
+  }
+  state.SetLabel(std::to_string(jobs.size()) + " workloads");
+}
+BENCHMARK(BM_CorpusWarmFanout)->Unit(benchmark::kMillisecond);
+
+void BM_CorpusColdScenario(benchmark::State& state) {
+  // The uncached unit cost: compile + profile + optimize + detect one
+  // generated scenario from scratch.
+  const auto& w = wl::default_corpus().front();
+  for (auto _ : state) {
+    const pipeline::Session session(w.source, w.name, w.input);
+    benchmark::DoNotOptimize(
+        session.detection(opt::OptLevel::O1).sequences.size());
+  }
+  state.SetLabel(w.name);
+}
+BENCHMARK(BM_CorpusColdScenario)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& corpus = wl::default_corpus();
+  const auto jobs = corpus_jobs();
+
+  CorpusReport report;
+  run_differential(report);
+
+  pipeline::SessionPool pool;  // Private pool: cold means cold.
+  report.cold_seconds = timed_fanout(jobs, pool, report, /*record_sequences=*/true);
+  report.warm_seconds = timed_fanout(jobs, pool, report, /*record_sequences=*/false);
+
+  print_report(report, corpus.size());
+  const std::string json = render_json(report, corpus.size());
+  std::fputs(json.c_str(), stdout);
+
+  // First non-flag argument overrides the output path; flags belong to the
+  // google-benchmark harness.
+  const char* path = "BENCH_corpus.json";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      path = argv[i];
+      break;
+    }
+  }
+  if (!bench::JsonWriter::write_file(path, json)) return 1;
+  if (report.diff_fail != 0 || report.stage_failures != 0) return 1;
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

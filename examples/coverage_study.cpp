@@ -11,16 +11,17 @@
 
 #include "chain/report.hpp"
 #include "pipeline/session.hpp"
-#include "workloads/suite.hpp"
+#include "workloads/generator.hpp"
 
 using namespace asipfb;
 
 int main(int argc, char** argv) {
+  // Any Table-1 name or a generated corpus scenario ("gen_fused_005", ...).
   const std::string name = argc > 1 ? argv[1] : "sewha";
   chain::CoverageOptions options;
   if (argc > 2) options.floor_percent = std::atof(argv[2]);
 
-  const auto& w = wl::workload(name);
+  const auto& w = wl::any_workload(name);
   const pipeline::Session session(w.source, w.name, w.input);
   std::printf("benchmark: %s (%llu dynamic ops), significance floor %.1f%%\n\n",
               w.name.c_str(),

@@ -5,18 +5,21 @@
 // computes bit-identical results (the library's central soundness property).
 //
 //   $ ./examples/fir_explorer [workload-name]
+//
+// Accepts any Table-1 name ("fir", "edge", ...) or a generated corpus
+// scenario ("gen_dft_002", ...; see docs/WORKLOADS.md).
 #include <cstdio>
 #include <string>
 
 #include "chain/report.hpp"
 #include "pipeline/session.hpp"
-#include "workloads/suite.hpp"
+#include "workloads/generator.hpp"
 
 using namespace asipfb;
 
 int main(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "fir";
-  const auto& w = wl::workload(name);
+  const auto& w = wl::any_workload(name);
   std::printf("benchmark: %s — %s\n  data: %s\n\n", w.name.c_str(),
               w.description.c_str(), w.data_description.c_str());
 

@@ -183,21 +183,26 @@ std::size_t SweepResult::failures() const {
                     [](const SweepPoint& p) { return !p.ok(); }));
 }
 
-SweepResult sweep(const std::vector<std::string>& workloads,
-                  const SweepOptions& options, SessionPool* pool) {
-  SessionPool& sessions = pool_or_instance(pool);
+namespace {
+
+/// Shared sweep machinery: `name_of(j)` labels workload j, `session_of(j)`
+/// resolves (and memoizes) its Session.  Grid order and thread-count
+/// determinism are identical for both public overloads.
+template <typename NameOf, typename SessionOf>
+SweepResult sweep_over(std::size_t workload_count, const SweepOptions& options,
+                       NameOf&& name_of, SessionOf&& session_of) {
   const std::size_t grid = options.levels.size() *
                            options.floor_percents.size() *
                            options.area_budgets.size();
   SweepResult result;
-  result.points.resize(workloads.size() * grid);
+  result.points.resize(workload_count * grid);
   std::size_t i = 0;
-  for (const auto& workload : workloads) {
+  for (std::size_t j = 0; j < workload_count; ++j) {
     for (auto level : options.levels) {
       for (double floor : options.floor_percents) {
         for (double budget : options.area_budgets) {
           SweepPoint& p = result.points[i++];
-          p.workload = workload;
+          p.workload = name_of(j);
           p.level = level;
           p.floor_percent = floor;
           p.area_budget = budget;
@@ -209,7 +214,7 @@ SweepResult sweep(const std::vector<std::string>& workloads,
   parallel_for(result.points.size(), options.threads, [&](std::size_t idx) {
     SweepPoint& p = result.points[idx];
     try {
-      const std::shared_ptr<Session> session = sessions.get(p.workload);
+      const std::shared_ptr<Session> session = session_of(idx / grid);
       chain::CoverageOptions cov = options.coverage;
       cov.floor_percent = p.floor_percent;
       asip::SelectionOptions sel = options.selection;
@@ -233,6 +238,26 @@ SweepResult sweep(const std::vector<std::string>& workloads,
     }
   });
   return result;
+}
+
+}  // namespace
+
+SweepResult sweep(const std::vector<std::string>& workloads,
+                  const SweepOptions& options, SessionPool* pool) {
+  SessionPool& sessions = pool_or_instance(pool);
+  return sweep_over(
+      workloads.size(), options, [&](std::size_t j) { return workloads[j]; },
+      [&](std::size_t j) { return sessions.get(workloads[j]); });
+}
+
+SweepResult sweep(const std::vector<BatchJob>& jobs, const SweepOptions& options,
+                  SessionPool* pool) {
+  SessionPool& sessions = pool_or_instance(pool);
+  return sweep_over(
+      jobs.size(), options, [&](std::size_t j) { return jobs[j].name; },
+      [&](std::size_t j) {
+        return sessions.get(jobs[j].name, jobs[j].source, jobs[j].input);
+      });
 }
 
 SweepResult sweep_suite(const SweepOptions& options, SessionPool* pool) {

@@ -53,6 +53,7 @@ struct BatchJob {
 /// Which Session stage a request runs.
 enum class Stage { kDetection, kCoverage, kExtension };
 
+/// Stable lower-case stage name ("detection"/"coverage"/"extension").
 [[nodiscard]] std::string_view to_string(Stage stage);
 
 /// One stage invocation: the stage, the optimization level, and the option
@@ -173,6 +174,13 @@ struct SweepResult {
 /// optimization per level, one coverage per (level, floor), and one
 /// selection per point — not |points| full pipeline runs.
 [[nodiscard]] SweepResult sweep(const std::vector<std::string>& workloads,
+                                const SweepOptions& options = {},
+                                SessionPool* pool = nullptr);
+
+/// As above for explicit source + input jobs (e.g. a generated corpus —
+/// see workloads/generator.hpp): each job is prepared at most once in
+/// `pool` under its name, then every grid point runs against that Session.
+[[nodiscard]] SweepResult sweep(const std::vector<BatchJob>& jobs,
                                 const SweepOptions& options = {},
                                 SessionPool* pool = nullptr);
 

@@ -1,11 +1,14 @@
-// End-to-end driver for the paper's experimental flow (Figure 2):
+// Primitives of the paper's experimental flow (Figure 2):
 //
 //   BenchC source --front end--> 3AC --simulate+profile--> profiled 3AC
 //     --optimize (O0/O1/O2)--> program graph --detect--> sequences
 //
-// prepare() performs steps 1-2 once; optimized_variant() / analyze_level()
-// perform steps 3-4 per optimization level on a private copy, so one
-// profiled baseline feeds all levels with a common frequency denominator.
+// prepare()/prepare_multi() perform steps 1-2 once (one profiled baseline
+// feeds all levels with a common frequency denominator) and execute()
+// runs a module over bound inputs.  Steps 3-4 live behind
+// pipeline::Session (session.hpp), which memoizes every downstream
+// artifact; the per-stage free functions at the bottom of this header are
+// deprecated shims over it.
 #pragma once
 
 #include <cstdint>

@@ -40,7 +40,7 @@ class KeyBuilder {
 
 // --- Option normalization ---------------------------------------------------
 // Requests that provably compute the same artifact must share one cache
-// entry, so the rules optimize()/analyze_level() apply internally are baked
+// entry, so the rules optimized()/detection() apply internally are baked
 // into the keys here.
 
 /// optimize() ignores every knob at O0 and forces chain_preserving per

@@ -26,6 +26,8 @@
 // SessionPool is the process-wide directory of Sessions, keyed by workload
 // name — the service front door.  The legacy free functions in driver.hpp
 // and the PreparedCache in batch.hpp are thin shims over these two types.
+// docs/ARCHITECTURE.md has the full stage diagram and the
+// ownership/threading rules in prose.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,720 @@
+// Family emitters for the generated corpus (generator.hpp): each function
+// renders one parameterized BenchC program *and* computes its reference
+// outputs with a plain-C++ oracle that mirrors the emitted program
+// statement by statement.
+//
+// Bit-exactness contract: the oracle must reproduce the simulator's
+// results word for word, so
+//   * float arithmetic follows the emitted expression trees exactly, one
+//     individually rounded f32 operation per BenchC operation (this file
+//     is compiled with -ffp-contract=off — see CMakeLists.txt — so the
+//     compiler cannot fuse a*b+c into an FMA the simulator would not
+//     perform);
+//   * intrinsics call the same libm float overloads the simulator's
+//     Intrin opcode calls (std::cos/std::sin on float);
+//   * float->int casts replicate sim::fp_to_int (NaN and out-of-range
+//     map to 0);
+//   * integer ops stay inside i32 ranges by construction (bounded taps,
+//     coefficients, and inputs), so C++ signed arithmetic is defined and
+//     agrees with the simulator's wrapping u32 ops.
+// Emitted float literals use 9 significant digits + 'f' suffix, which
+// round-trips any finite f32 exactly through the frontend's
+// strtod-then-narrow path.
+#include <bit>
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "workloads/generator.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+// --- Small emission helpers -------------------------------------------------
+
+/// snprintf into a std::string (arguments are ints/doubles/C strings only).
+std::string fmt(const char* f, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, f);
+  std::vsnprintf(buf, sizeof buf, f, args);
+  va_end(args);
+  return buf;
+}
+
+/// A float literal that the BenchC frontend parses back to exactly `v`.
+std::string f32lit(float v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(v));
+  return std::string(buf) + "f";
+}
+
+std::string int_array_init(const char* name, const std::vector<std::int32_t>& v) {
+  std::string out = fmt("int %s[%d] = { ", name, static_cast<int>(v.size()));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(v[i]);
+  }
+  return out + " };\n";
+}
+
+std::string float_array_init(const char* name, const std::vector<float>& v) {
+  std::string out = fmt("float %s[%d] = { ", name, static_cast<int>(v.size()));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += f32lit(v[i]);
+  }
+  return out + " };\n";
+}
+
+// --- Oracle helpers ---------------------------------------------------------
+
+/// Mirrors sim::fp_to_int: truncation with defined out-of-range behaviour.
+std::int32_t oracle_fp_to_int(float f) {
+  if (std::isnan(f) || f >= 2147483648.0f || f < -2147483648.0f) return 0;
+  return static_cast<std::int32_t>(f);
+}
+
+std::vector<std::int32_t> words_of(const std::vector<float>& v) {
+  std::vector<std::int32_t> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = std::bit_cast<std::int32_t>(v[i]);
+  return out;
+}
+
+/// Histogram equalization of `in` (values must already lie in [0, levels))
+/// exactly as the emitted BenchC stage computes it.
+std::vector<std::int32_t> oracle_histeq(const std::vector<std::int32_t>& in,
+                                        int levels) {
+  std::vector<std::int32_t> hist(static_cast<std::size_t>(levels), 0);
+  for (std::int32_t p : in) hist[static_cast<std::size_t>(p)]++;
+  std::vector<std::int32_t> cdf(static_cast<std::size_t>(levels), 0);
+  std::int32_t cum = 0;
+  for (int i = 0; i < levels; ++i) {
+    cum += hist[static_cast<std::size_t>(i)];
+    cdf[static_cast<std::size_t>(i)] = cum;
+  }
+  std::int32_t cdf_min = 0;
+  for (int i = 0; i < levels; ++i) {
+    if (cdf[static_cast<std::size_t>(i)] > 0) {
+      cdf_min = cdf[static_cast<std::size_t>(i)];
+      break;
+    }
+  }
+  std::int32_t denom = static_cast<std::int32_t>(in.size()) - cdf_min;
+  if (denom < 1) denom = 1;
+  std::vector<std::int32_t> map(static_cast<std::size_t>(levels), 0);
+  for (int i = 0; i < levels; ++i) {
+    std::int32_t v = cdf[static_cast<std::size_t>(i)] - cdf_min;
+    if (v < 0) v = 0;
+    map[static_cast<std::size_t>(i)] = (v * (levels - 1)) / denom;
+    if (map[static_cast<std::size_t>(i)] > levels - 1) {
+      map[static_cast<std::size_t>(i)] = levels - 1;
+    }
+  }
+  std::vector<std::int32_t> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = map[static_cast<std::size_t>(in[i])];
+  }
+  return out;
+}
+
+/// The shared BenchC histogram-equalization stage over global `in` into
+/// global `out` (count elements, `levels` gray levels).  Matches
+/// oracle_histeq().  Assumes scalars `i`, `cum`, `cdf_min`, `denom` are
+/// free to declare.
+std::string emit_histeq_stage(const char* in, const char* out, int count,
+                              int levels) {
+  std::string s;
+  s += fmt("  for (i = 0; i < %d; i++) {\n    hist[i] = 0;\n  }\n", levels);
+  s += fmt("  for (i = 0; i < %d; i++) {\n    hist[%s[i]]++;\n  }\n", count, in);
+  s += "  int cum = 0;\n";
+  s += fmt("  for (i = 0; i < %d; i++) {\n    cum += hist[i];\n    cdf[i] = cum;\n  }\n", levels);
+  s += "  int cdf_min = 0;\n";
+  s += fmt(
+      "  for (i = 0; i < %d; i++) {\n    if (cdf[i] > 0) {\n"
+      "      cdf_min = cdf[i];\n      break;\n    }\n  }\n",
+      levels);
+  s += fmt("  int denom = %d - cdf_min;\n  if (denom < 1) {\n    denom = 1;\n  }\n", count);
+  s += fmt(
+      "  for (i = 0; i < %d; i++) {\n    int v = cdf[i] - cdf_min;\n"
+      "    if (v < 0) {\n      v = 0;\n    }\n"
+      "    map[i] = (v * %d) / denom;\n"
+      "    if (map[i] > %d) {\n      map[i] = %d;\n    }\n  }\n",
+      levels, levels - 1, levels - 1, levels - 1);
+  s += fmt("  for (i = 0; i < %d; i++) {\n    %s[i] = map[%s[i]];\n  }\n", count,
+           out, in);
+  return s;
+}
+
+/// Sum-and-store checksum postlude shared by the integer families.
+std::string emit_int_checksum(const char* array, int count) {
+  std::string s;
+  s += "  int s = 0;\n";
+  s += fmt("  for (i = 0; i < %d; i++) {\n    s += %s[i];\n  }\n", count, array);
+  s += "  checksum = s;\n  return s;\n";
+  return s;
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("generator: ") + what);
+}
+
+/// The fixed conv2d kernel table (Conv2dParams::kernel indexes it).
+struct ConvKernel {
+  const char* name;
+  std::int32_t w[9];
+};
+constexpr ConvKernel kConvKernels[kConvKernelCount] = {
+    {"sobel_x", {-1, 0, 1, -2, 0, 2, -1, 0, 1}},
+    {"sobel_y", {-1, -2, -1, 0, 0, 0, 1, 2, 1}},
+    {"laplace", {0, -1, 0, -1, 4, -1, 0, -1, 0}},
+    {"gauss", {1, 2, 1, 2, 4, 2, 1, 2, 1}},
+    {"box", {1, 1, 1, 1, 1, 1, 1, 1, 1}},
+    {"sharpen", {0, -1, 0, -1, 8, -1, 0, -1, 0}},
+};
+
+}  // namespace
+
+// --- FIR --------------------------------------------------------------------
+
+Workload make_fir_scenario(const FirParams& p, std::uint64_t data_seed,
+                           std::string name) {
+  require(p.taps >= 1 && p.taps <= 256, "fir taps out of range");
+  require(p.length >= p.taps && p.length <= 4096, "fir length out of range");
+  require(p.acc_shift >= 0 && p.acc_shift <= 31, "fir acc_shift out of range");
+  require(p.sat_bits == 0 || (p.sat_bits >= 2 && p.sat_bits <= 31),
+          "fir sat_bits out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+
+  std::string src = fmt("/* %s: generated %d-tap %s FIR over %d samples. */\n",
+                        w.name.c_str(), p.taps, p.integer ? "integer" : "float",
+                        p.length);
+  if (!p.integer) {
+    // Float datapath, fir-style.
+    const std::vector<float> h = rng.float_array(static_cast<std::size_t>(p.taps),
+                                                 -1.0f, 1.0f);
+    const std::vector<float> x = rng.float_array(static_cast<std::size_t>(p.length),
+                                                 -1.0f, 1.0f);
+    src += fmt("float x[%d];\nfloat y[%d];\n", p.length, p.length);
+    src += float_array_init("h", h);
+    src += "float checksum;\n\nint main() {\n  int n;\n  int k;\n";
+    src += fmt("  for (n = 0; n < %d; n++) {\n", p.length);
+    src += "    float acc = 0.0;\n";
+    src += fmt("    for (k = 0; k < %d; k++) {\n", p.taps);
+    src += "      int j = n - k;\n      if (j >= 0) {\n";
+    src += "        acc += h[k] * x[j];\n      }\n    }\n";
+    src += "    y[n] = acc;\n  }\n";
+    src += "  float s = 0.0;\n";
+    src += fmt("  for (n = 0; n < %d; n++) {\n    s += y[n];\n  }\n", p.length);
+    src += "  checksum = s;\n  return (int)(s * 1000.0);\n}\n";
+
+    // Oracle.
+    std::vector<float> y(static_cast<std::size_t>(p.length));
+    for (int n = 0; n < p.length; ++n) {
+      float acc = 0.0f;
+      for (int k = 0; k < p.taps; ++k) {
+        const int j = n - k;
+        if (j >= 0) {
+          acc = acc + h[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
+        }
+      }
+      y[static_cast<std::size_t>(n)] = acc;
+    }
+    float s = 0.0f;
+    for (int n = 0; n < p.length; ++n) s = s + y[static_cast<std::size_t>(n)];
+
+    w.description = fmt("generated %d-tap float FIR", p.taps);
+    w.data_description = fmt("random array of %d floats in [-1,1)", p.length);
+    w.input.add("x", x);
+    w.outputs = {"y", "checksum"};
+    w.expected["y"] = words_of(y);
+    w.expected["checksum"] = {std::bit_cast<std::int32_t>(s)};
+    w.expected_exit = oracle_fp_to_int(s * 1000.0f);
+  } else {
+    // Integer datapath, sewha-style: shift-normalized, optionally saturated.
+    const std::vector<std::int32_t> h =
+        rng.int_array(static_cast<std::size_t>(p.taps), -32, 31);
+    const std::vector<std::int32_t> x =
+        rng.int_array(static_cast<std::size_t>(p.length), -128, 127);
+    const std::int32_t sat_max =
+        p.sat_bits > 0 ? (std::int32_t{1} << (p.sat_bits - 1)) - 1 : 0;
+    const std::int32_t sat_min = p.sat_bits > 0 ? -(std::int32_t{1} << (p.sat_bits - 1)) : 0;
+
+    src += fmt("int x[%d];\nint y[%d];\n", p.length, p.length);
+    src += int_array_init("h", h);
+    src += "int checksum;\n\nint main() {\n  int n;\n  int k;\n";
+    src += fmt("  for (n = 0; n < %d; n++) {\n", p.length);
+    src += "    int acc = 0;\n";
+    src += fmt("    for (k = 0; k < %d; k++) {\n", p.taps);
+    src += "      int j = n - k;\n      if (j >= 0) {\n";
+    src += "        acc += h[k] * x[j];\n      }\n    }\n";
+    src += fmt("    acc = acc >> %d;\n", p.acc_shift);
+    if (p.sat_bits > 0) {
+      src += fmt("    if (acc > %d) {\n      acc = %d;\n    }\n", sat_max, sat_max);
+      src += fmt("    if (acc < %d) {\n      acc = %d;\n    }\n", sat_min, sat_min);
+    }
+    src += "    y[n] = acc;\n  }\n";
+    src += "  int i;\n";
+    src += emit_int_checksum("y", p.length);
+    src += "}\n";
+
+    // Oracle.
+    std::vector<std::int32_t> y(static_cast<std::size_t>(p.length));
+    for (int n = 0; n < p.length; ++n) {
+      std::int32_t acc = 0;
+      for (int k = 0; k < p.taps; ++k) {
+        const int j = n - k;
+        if (j >= 0) {
+          acc += h[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
+        }
+      }
+      acc = acc >> p.acc_shift;
+      if (p.sat_bits > 0) {
+        if (acc > sat_max) acc = sat_max;
+        if (acc < sat_min) acc = sat_min;
+      }
+      y[static_cast<std::size_t>(n)] = acc;
+    }
+    std::int32_t s = 0;
+    for (int n = 0; n < p.length; ++n) s += y[static_cast<std::size_t>(n)];
+
+    w.description = fmt("generated %d-tap integer FIR (>>%d%s)", p.taps,
+                        p.acc_shift,
+                        p.sat_bits > 0 ? fmt(", sat %d-bit", p.sat_bits).c_str() : "");
+    w.data_description = fmt("stream of %d random integers", p.length);
+    w.input.add("x", x);
+    w.outputs = {"y", "checksum"};
+    w.expected["y"] = y;
+    w.expected["checksum"] = {s};
+    w.expected_exit = s;
+  }
+  w.source = src;
+  return w;
+}
+
+// --- IIR --------------------------------------------------------------------
+
+Workload make_iir_scenario(const IirParams& p, std::uint64_t data_seed,
+                           std::string name) {
+  require(p.sections >= 1 && p.sections <= 16, "iir sections out of range");
+  require(p.length >= 1 && p.length <= 4096, "iir length out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+
+  // Stable biquads: poles at radius r in [0.3, 0.85], angle in [0.3, 2.8],
+  // so a1 = -2 r cos(theta), a2 = r^2 keep every section bounded.
+  const auto sections = static_cast<std::size_t>(p.sections);
+  std::vector<float> b0(sections), b1(sections), b2(sections), a1(sections),
+      a2(sections);
+  for (std::size_t s = 0; s < sections; ++s) {
+    const float r = rng.next_float(0.3f, 0.85f);
+    const float theta = rng.next_float(0.3f, 2.8f);
+    a1[s] = -2.0f * r * std::cos(theta);
+    a2[s] = r * r;
+    b0[s] = rng.next_float(-0.5f, 0.5f);
+    b1[s] = rng.next_float(-0.5f, 0.5f);
+    b2[s] = rng.next_float(-0.5f, 0.5f);
+  }
+  const std::vector<float> x =
+      rng.float_array(static_cast<std::size_t>(p.length), -1.0f, 1.0f);
+
+  std::string src =
+      fmt("/* %s: generated %d-section IIR biquad cascade over %d samples. */\n",
+          w.name.c_str(), p.sections, p.length);
+  src += fmt("float x[%d];\nfloat y[%d];\n", p.length, p.length);
+  src += float_array_init("b0", b0);
+  src += float_array_init("b1", b1);
+  src += float_array_init("b2", b2);
+  src += float_array_init("a1", a1);
+  src += float_array_init("a2", a2);
+  src += fmt("float w1[%d];\nfloat w2[%d];\nfloat checksum;\n\n", p.sections,
+             p.sections);
+  src += "int main() {\n  int n;\n  int s;\n";
+  src += fmt(
+      "  for (s = 0; s < %d; s++) {\n    w1[s] = 0.0;\n    w2[s] = 0.0;\n  }\n",
+      p.sections);
+  src += fmt("  for (n = 0; n < %d; n++) {\n", p.length);
+  src += "    float v = x[n];\n";
+  src += fmt("    for (s = 0; s < %d; s++) {\n", p.sections);
+  src += "      float t = v - a1[s] * w1[s] - a2[s] * w2[s];\n";
+  src += "      v = b0[s] * t + b1[s] * w1[s] + b2[s] * w2[s];\n";
+  src += "      w2[s] = w1[s];\n      w1[s] = t;\n    }\n";
+  src += "    y[n] = v;\n  }\n";
+  src += "  float acc = 0.0;\n";
+  src += fmt("  for (n = 0; n < %d; n++) {\n    acc += y[n] * y[n];\n  }\n",
+             p.length);
+  src += "  checksum = acc;\n  return (int)(acc * 1000.0);\n}\n";
+  w.source = src;
+
+  // Oracle (direct form II, mirrored expression trees).
+  std::vector<float> w1(sections, 0.0f), w2(sections, 0.0f);
+  std::vector<float> y(static_cast<std::size_t>(p.length));
+  for (int n = 0; n < p.length; ++n) {
+    float v = x[static_cast<std::size_t>(n)];
+    for (std::size_t s = 0; s < sections; ++s) {
+      const float t = v - a1[s] * w1[s] - a2[s] * w2[s];
+      v = b0[s] * t + b1[s] * w1[s] + b2[s] * w2[s];
+      w2[s] = w1[s];
+      w1[s] = t;
+    }
+    y[static_cast<std::size_t>(n)] = v;
+  }
+  float acc = 0.0f;
+  for (int n = 0; n < p.length; ++n) {
+    acc = acc + y[static_cast<std::size_t>(n)] * y[static_cast<std::size_t>(n)];
+  }
+
+  w.description = fmt("generated %d-section IIR biquad cascade", p.sections);
+  w.data_description = fmt("random array of %d floats in [-1,1)", p.length);
+  w.input.add("x", x);
+  w.outputs = {"y", "checksum"};
+  w.expected["y"] = words_of(y);
+  w.expected["checksum"] = {std::bit_cast<std::int32_t>(acc)};
+  w.expected_exit = oracle_fp_to_int(acc * 1000.0f);
+  return w;
+}
+
+// --- DFT --------------------------------------------------------------------
+
+Workload make_dft_scenario(const DftParams& p, std::uint64_t data_seed,
+                           std::string name) {
+  require(p.points >= 2 && p.points <= 256, "dft points out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+  const int K = p.points;
+  const float omega = static_cast<float>(6.283185307179586 / K);  // 2*pi/K
+  const std::vector<std::int32_t> x =
+      rng.int_array(static_cast<std::size_t>(K), -128, 127);
+
+  std::string src = fmt("/* %s: generated direct %d-point DFT. */\n",
+                        w.name.c_str(), K);
+  src += fmt("int x[%d];\nfloat xr[%d];\nfloat xi[%d];\nfloat checksum;\n\n", K,
+             K, K);
+  src += "int main() {\n  int k;\n  int n;\n";
+  src += fmt("  for (k = 0; k < %d; k++) {\n", K);
+  src += "    float sr = 0.0;\n    float si = 0.0;\n";
+  src += fmt("    for (n = 0; n < %d; n++) {\n", K);
+  src += fmt("      float a = %s * (k * n);\n", f32lit(omega).c_str());
+  src += "      sr += x[n] * cosf(a);\n";
+  src += "      si -= x[n] * sinf(a);\n    }\n";
+  src += "    xr[k] = sr;\n    xi[k] = si;\n  }\n";
+  src += "  float s = 0.0;\n";
+  src += fmt(
+      "  for (k = 0; k < %d; k++) {\n    s += xr[k] * xr[k] + xi[k] * xi[k];\n  }\n",
+      K);
+  src += "  checksum = s;\n  return (int)(s * 0.000001);\n}\n";
+  w.source = src;
+
+  // Oracle: int->float promotion, then the same f32 tree per statement.
+  std::vector<float> xr(static_cast<std::size_t>(K)), xi(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int n = 0; n < K; ++n) {
+      const float a = omega * static_cast<float>(k * n);
+      sr = sr + static_cast<float>(x[static_cast<std::size_t>(n)]) * std::cos(a);
+      si = si - static_cast<float>(x[static_cast<std::size_t>(n)]) * std::sin(a);
+    }
+    xr[static_cast<std::size_t>(k)] = sr;
+    xi[static_cast<std::size_t>(k)] = si;
+  }
+  float s = 0.0f;
+  for (int k = 0; k < K; ++k) {
+    s = s + (xr[static_cast<std::size_t>(k)] * xr[static_cast<std::size_t>(k)] +
+             xi[static_cast<std::size_t>(k)] * xi[static_cast<std::size_t>(k)]);
+  }
+
+  w.description = fmt("generated direct %d-point DFT", K);
+  w.data_description = fmt("stream of %d random integers", K);
+  w.input.add("x", x);
+  w.outputs = {"xr", "xi", "checksum"};
+  w.expected["xr"] = words_of(xr);
+  w.expected["xi"] = words_of(xi);
+  w.expected["checksum"] = {std::bit_cast<std::int32_t>(s)};
+  w.expected_exit = oracle_fp_to_int(s * 0.000001f);
+  return w;
+}
+
+// --- Conv2d -----------------------------------------------------------------
+
+Workload make_conv2d_scenario(const Conv2dParams& p, std::uint64_t data_seed,
+                              std::string name) {
+  require(p.width >= 4 && p.width <= 128, "conv2d width out of range");
+  require(p.height >= 4 && p.height <= 128, "conv2d height out of range");
+  require(p.kernel >= 0 && p.kernel < kConvKernelCount, "conv2d kernel out of range");
+  require(p.shift >= 0 && p.shift <= 15, "conv2d shift out of range");
+  require(p.thresh >= 0, "conv2d thresh out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+  const int W = p.width, H = p.height, WH = W * H;
+  const ConvKernel& kernel = kConvKernels[p.kernel];
+  const std::vector<std::int32_t> img =
+      rng.image8(static_cast<std::size_t>(W), static_cast<std::size_t>(H));
+
+  std::string src = fmt(
+      "/* %s: generated 3x3 %s convolution over a %dx%d 8-bit image (%s). */\n",
+      w.name.c_str(), kernel.name, W, H,
+      p.threshold ? "abs+threshold" : "shift+clamp");
+  src += fmt("int img[%d];\nint out[%d];\n", WH, WH);
+  src += int_array_init("kw", std::vector<std::int32_t>(kernel.w, kernel.w + 9));
+  src += "int checksum;\n\nint main() {\n  int i;\n";
+  src += fmt("  for (i = 0; i < %d; i++) {\n    out[i] = 0;\n  }\n", WH);
+  src += "  int r;\n  int c;\n  int dr;\n  int dc;\n";
+  src += fmt("  for (r = 1; r < %d; r++) {\n", H - 1);
+  src += fmt("    for (c = 1; c < %d; c++) {\n", W - 1);
+  src += "      int acc = 0;\n";
+  src += "      for (dr = -1; dr <= 1; dr++) {\n";
+  src += "        for (dc = -1; dc <= 1; dc++) {\n";
+  src += fmt("          acc += kw[(dr + 1) * 3 + dc + 1] * img[(r + dr) * %d + c + dc];\n", W);
+  src += "        }\n      }\n";
+  if (p.threshold) {
+    src += "      int m = abs(acc);\n      int e = 0;\n";
+    src += fmt("      if (m > %d) {\n        e = 255;\n      }\n", p.thresh);
+    src += fmt("      out[r * %d + c] = e;\n", W);
+  } else {
+    src += fmt("      int v = acc >> %d;\n", p.shift);
+    src += "      if (v > 255) {\n        v = 255;\n      }\n";
+    src += "      if (v < 0) {\n        v = 0;\n      }\n";
+    src += fmt("      out[r * %d + c] = v;\n", W);
+  }
+  src += "    }\n  }\n";
+  src += emit_int_checksum("out", WH);
+  src += "}\n";
+  w.source = src;
+
+  // Oracle.
+  std::vector<std::int32_t> out(static_cast<std::size_t>(WH), 0);
+  for (int r = 1; r < H - 1; ++r) {
+    for (int c = 1; c < W - 1; ++c) {
+      std::int32_t acc = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          acc += kernel.w[(dr + 1) * 3 + dc + 1] *
+                 img[static_cast<std::size_t>((r + dr) * W + c + dc)];
+        }
+      }
+      std::int32_t result;
+      if (p.threshold) {
+        result = std::abs(acc) > p.thresh ? 255 : 0;
+      } else {
+        result = acc >> p.shift;
+        if (result > 255) result = 255;
+        if (result < 0) result = 0;
+      }
+      out[static_cast<std::size_t>(r * W + c)] = result;
+    }
+  }
+  std::int32_t s = 0;
+  for (std::int32_t v : out) s += v;
+
+  w.description = fmt("generated 3x3 %s convolution (%s)", kernel.name,
+                      p.threshold ? "edge-style" : "smooth-style");
+  w.data_description = fmt("%dx%d 8-bit image", W, H);
+  w.input.add("img", img);
+  w.outputs = {"out", "checksum"};
+  w.expected["out"] = out;
+  w.expected["checksum"] = {s};
+  w.expected_exit = s;
+  return w;
+}
+
+// --- HistEq -----------------------------------------------------------------
+
+Workload make_histeq_scenario(const HistEqParams& p, std::uint64_t data_seed,
+                              std::string name) {
+  require(p.width >= 1 && p.width <= 128, "histeq width out of range");
+  require(p.height >= 1 && p.height <= 128, "histeq height out of range");
+  require(p.levels >= 2 && p.levels <= 256, "histeq levels out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+  const int WH = p.width * p.height;
+  const std::vector<std::int32_t> img =
+      rng.int_array(static_cast<std::size_t>(WH), 0, p.levels - 1);
+
+  std::string src = fmt(
+      "/* %s: generated histogram equalization of a %dx%d image, %d levels. */\n",
+      w.name.c_str(), p.width, p.height, p.levels);
+  src += fmt("int img[%d];\nint out[%d];\n", WH, WH);
+  src += fmt("int hist[%d];\nint cdf[%d];\nint map[%d];\nint checksum;\n\n",
+             p.levels, p.levels, p.levels);
+  src += "int main() {\n  int i;\n";
+  src += emit_histeq_stage("img", "out", WH, p.levels);
+  src += emit_int_checksum("out", WH);
+  src += "}\n";
+  w.source = src;
+
+  const std::vector<std::int32_t> out = oracle_histeq(img, p.levels);
+  std::int32_t s = 0;
+  for (std::int32_t v : out) s += v;
+
+  w.description = fmt("generated histogram equalization (%d levels)", p.levels);
+  w.data_description = fmt("%dx%d image, pixels in [0,%d]", p.width, p.height,
+                           p.levels - 1);
+  w.input.add("img", img);
+  w.outputs = {"out", "checksum"};
+  w.expected["out"] = out;
+  w.expected["checksum"] = {s};
+  w.expected_exit = s;
+  return w;
+}
+
+// --- Fused pipelines --------------------------------------------------------
+
+Workload make_fused_scenario(const FusedParams& p, std::uint64_t data_seed,
+                             std::string name) {
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+
+  if (!p.image) {
+    // Stream pipeline: integer FIR -> saturate to [0,255] -> equalize.
+    require(p.taps >= 1 && p.taps <= 256, "fused taps out of range");
+    require(p.length >= p.taps && p.length <= 4096, "fused length out of range");
+    const std::vector<std::int32_t> h =
+        rng.int_array(static_cast<std::size_t>(p.taps), 0, 15);
+    const std::vector<std::int32_t> x =
+        rng.int_array(static_cast<std::size_t>(p.length), 0, 255);
+    // Normalize so a full-overlap accumulator lands near the 8-bit range:
+    // acc <= 255 * sum(h), so shift by ceil(log2(sum(h))) (>= 0).
+    std::int32_t hsum = 0;
+    for (std::int32_t v : h) hsum += v;
+    int shift = 0;
+    while ((std::int32_t{1} << shift) < hsum) ++shift;
+
+    std::string src = fmt(
+        "/* %s: generated fused pipeline: %d-tap FIR -> saturate -> "
+        "histogram equalization over %d samples. */\n",
+        w.name.c_str(), p.taps, p.length);
+    src += fmt("int x[%d];\nint y[%d];\nint out[%d];\n", p.length, p.length,
+               p.length);
+    src += int_array_init("h", h);
+    src += "int hist[256];\nint cdf[256];\nint map[256];\nint checksum;\n\n";
+    src += "int main() {\n  int n;\n  int k;\n";
+    src += fmt("  for (n = 0; n < %d; n++) {\n", p.length);
+    src += "    int acc = 0;\n";
+    src += fmt("    for (k = 0; k < %d; k++) {\n", p.taps);
+    src += "      int j = n - k;\n      if (j >= 0) {\n";
+    src += "        acc += h[k] * x[j];\n      }\n    }\n";
+    src += fmt("    acc = acc >> %d;\n", shift);
+    src += "    if (acc > 255) {\n      acc = 255;\n    }\n";
+    src += "    if (acc < 0) {\n      acc = 0;\n    }\n";
+    src += "    y[n] = acc;\n  }\n";
+    src += "  int i;\n";
+    src += emit_histeq_stage("y", "out", p.length, 256);
+    src += emit_int_checksum("out", p.length);
+    src += "}\n";
+    w.source = src;
+
+    // Oracle.
+    std::vector<std::int32_t> y(static_cast<std::size_t>(p.length));
+    for (int n = 0; n < p.length; ++n) {
+      std::int32_t acc = 0;
+      for (int k = 0; k < p.taps; ++k) {
+        const int j = n - k;
+        if (j >= 0) {
+          acc += h[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
+        }
+      }
+      acc = acc >> shift;
+      if (acc > 255) acc = 255;
+      if (acc < 0) acc = 0;
+      y[static_cast<std::size_t>(n)] = acc;
+    }
+    const std::vector<std::int32_t> out = oracle_histeq(y, 256);
+    std::int32_t s = 0;
+    for (std::int32_t v : out) s += v;
+
+    w.description = fmt("generated fused %d-tap FIR -> histogram equalization",
+                        p.taps);
+    w.data_description = fmt("stream of %d random 8-bit samples", p.length);
+    w.input.add("x", x);
+    w.outputs = {"y", "out", "checksum"};
+    w.expected["y"] = y;
+    w.expected["out"] = out;
+    w.expected["checksum"] = {s};
+    w.expected_exit = s;
+  } else {
+    // Image pipeline: gaussian smooth (border copy) -> equalize.
+    require(p.width >= 4 && p.width <= 128, "fused width out of range");
+    require(p.height >= 4 && p.height <= 128, "fused height out of range");
+    const int W = p.width, H = p.height, WH = W * H;
+    const std::vector<std::int32_t> img =
+        rng.image8(static_cast<std::size_t>(W), static_cast<std::size_t>(H));
+    const ConvKernel& kernel = kConvKernels[3];  // gauss, weight sum 16.
+
+    std::string src = fmt(
+        "/* %s: generated fused pipeline: 3x3 gaussian smooth -> histogram "
+        "equalization over a %dx%d image. */\n",
+        w.name.c_str(), W, H);
+    src += fmt("int img[%d];\nint tmp[%d];\nint out[%d];\n", WH, WH, WH);
+    src += int_array_init("kw", std::vector<std::int32_t>(kernel.w, kernel.w + 9));
+    src += "int hist[256];\nint cdf[256];\nint map[256];\nint checksum;\n\n";
+    src += "int main() {\n  int i;\n";
+    src += fmt("  for (i = 0; i < %d; i++) {\n    tmp[i] = img[i];\n  }\n", WH);
+    src += "  int r;\n  int c;\n  int dr;\n  int dc;\n";
+    src += fmt("  for (r = 1; r < %d; r++) {\n", H - 1);
+    src += fmt("    for (c = 1; c < %d; c++) {\n", W - 1);
+    src += "      int acc = 0;\n";
+    src += "      for (dr = -1; dr <= 1; dr++) {\n";
+    src += "        for (dc = -1; dc <= 1; dc++) {\n";
+    src += fmt("          acc += kw[(dr + 1) * 3 + dc + 1] * img[(r + dr) * %d + c + dc];\n", W);
+    src += "        }\n      }\n";
+    src += "      int v = acc >> 4;\n";
+    src += "      if (v > 255) {\n        v = 255;\n      }\n";
+    src += fmt("      tmp[r * %d + c] = v;\n", W);
+    src += "    }\n  }\n";
+    src += emit_histeq_stage("tmp", "out", WH, 256);
+    src += emit_int_checksum("out", WH);
+    src += "}\n";
+    w.source = src;
+
+    // Oracle.
+    std::vector<std::int32_t> tmp = img;
+    for (int r = 1; r < H - 1; ++r) {
+      for (int c = 1; c < W - 1; ++c) {
+        std::int32_t acc = 0;
+        for (int dr = -1; dr <= 1; ++dr) {
+          for (int dc = -1; dc <= 1; ++dc) {
+            acc += kernel.w[(dr + 1) * 3 + dc + 1] *
+                   img[static_cast<std::size_t>((r + dr) * W + c + dc)];
+          }
+        }
+        std::int32_t v = acc >> 4;
+        if (v > 255) v = 255;
+        tmp[static_cast<std::size_t>(r * W + c)] = v;
+      }
+    }
+    const std::vector<std::int32_t> out = oracle_histeq(tmp, 256);
+    std::int32_t s = 0;
+    for (std::int32_t v : out) s += v;
+
+    w.description = "generated fused gaussian smooth -> histogram equalization";
+    w.data_description = fmt("%dx%d 8-bit image", W, H);
+    w.input.add("img", img);
+    w.outputs = {"tmp", "out", "checksum"};
+    w.expected["tmp"] = tmp;
+    w.expected["out"] = out;
+    w.expected["checksum"] = {s};
+    w.expected_exit = s;
+  }
+  return w;
+}
+
+}  // namespace asipfb::wl

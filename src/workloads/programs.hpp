@@ -1,4 +1,7 @@
-// Internal factory functions, one per benchmark (see suite.hpp).
+// Internal factory functions, one per hand-written Table-1 benchmark (see
+// suite.hpp).  Parameterized *families* of these kernels live in
+// generator.hpp instead — add one-off programs here, scalable scenario
+// templates there.
 #pragma once
 
 #include "workloads/suite.hpp"

@@ -1,11 +1,18 @@
-// The paper's benchmark suite (Table 1), re-implemented in BenchC.
+// The paper's benchmark suite (Table 1), re-implemented in BenchC — plus
+// the entry points for the generated corpus (generator.hpp).
 //
 // Twelve DSP programs with the data inputs of Table 1 (seeded deterministic
 // generators): four float-stream filters (fir, iir), two FFT applications
 // (pse, intfft), four 24x24 8-bit image kernels (compress, flatten, smooth,
 // edge), and four integer-stream filters (sewha, dft, bspline, feowf).
+// Beyond Table 1, `wl::corpus()` (src/workloads/generator.hpp) scales the
+// same kernel families into hundreds of parameterized scenarios, each with
+// oracle-computed reference outputs.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,6 +20,8 @@
 
 namespace asipfb::wl {
 
+/// One benchmark scenario: a BenchC program, its deterministic input data,
+/// and the globals to compare in differential tests.
 struct Workload {
   std::string name;
   std::string description;        ///< Table 1 "Description" column.
@@ -20,6 +29,17 @@ struct Workload {
   std::string source;             ///< BenchC program text.
   pipeline::WorkloadInput input;  ///< Deterministic input bindings.
   std::vector<std::string> outputs;  ///< Globals compared in differential tests.
+
+  /// Reference outputs computed by a plain-C++ oracle, keyed by global name,
+  /// as raw i32 words (floats bit-cast) — the exact representation
+  /// pipeline::ExecutionResult::outputs uses.  Empty for the hand-written
+  /// Table-1 suite; generated corpus workloads carry one entry per
+  /// `outputs` global so every scenario is checkable sim-vs-oracle.
+  std::map<std::string, std::vector<std::int32_t>> expected;
+
+  /// Oracle-computed exit code of main(); engaged only for generated
+  /// workloads.
+  std::optional<std::int32_t> expected_exit;
 };
 
 /// All twelve benchmarks, in the paper's Table 1 order.

@@ -1,16 +1,22 @@
 // Randomized differential testing of the whole optimizer stack.
 //
-// A seeded generator emits random-but-valid BenchC programs (nested counted
-// loops, conditionals, scalar and array arithmetic over int and float);
-// every program must produce bit-identical outputs at O0/O1/O2 across
-// unroll factors.  Forty seeds run per build; any miscompile reproduces
-// deterministically from its seed.
+// Two populations run per build:
+//   * a seeded generator emits random-but-valid BenchC programs (nested
+//     counted loops, conditionals, scalar and array arithmetic over int
+//     and float); every program must produce bit-identical outputs at
+//     O0/O1/O2 across unroll factors.  Forty seeds run per build; any
+//     miscompile reproduces deterministically from its seed.
+//   * every scenario of the generated corpus (workloads/generator.hpp) is
+//     checked sim-vs-oracle — the simulated baseline must reproduce the
+//     plain-C++ oracle's outputs word for word — and then differentially
+//     across optimization levels, like the hand-written suite.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <string>
 
 #include "support/rng.hpp"
+#include "workloads/generator.hpp"
 #include "workloads/suite.hpp"
 
 namespace asipfb {
@@ -194,6 +200,50 @@ TEST_P(FuzzDifferential, AllLevelsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(1, 41));
+
+// --- Generated corpus: sim vs oracle, then levels vs baseline ---------------
+
+class CorpusDifferential : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorpusDifferential, SimMatchesOracleAndLevelsAgree) {
+  const wl::Workload& w = wl::default_corpus()[GetParam()];
+
+  pipeline::PreparedProgram prepared;
+  ASSERT_NO_THROW(prepared = pipeline::prepare(w.source, w.name, w.input))
+      << w.name << "\n" << w.source;
+
+  // The simulated baseline must reproduce the plain-C++ oracle bit for bit
+  // (floats compared as raw words).
+  const auto base = pipeline::execute(prepared.module, w.input, w.outputs);
+  ASSERT_TRUE(w.expected_exit.has_value()) << w.name;
+  EXPECT_EQ(base.exit_code, *w.expected_exit) << w.name;
+  for (const auto& [global, words] : w.expected) {
+    EXPECT_EQ(base.outputs.at(global), words)
+        << w.name << " global " << global << "\n" << w.source;
+  }
+
+  // And every optimization level must agree with the baseline.
+  for (auto level : {opt::OptLevel::O1, opt::OptLevel::O2}) {
+    ir::Module variant;
+    ASSERT_NO_THROW(variant = pipeline::optimized_variant(prepared, level))
+        << w.name << " level " << std::string(opt::to_string(level));
+    const auto run = pipeline::execute(variant, w.input, w.outputs);
+    EXPECT_EQ(run.exit_code, base.exit_code)
+        << w.name << " level " << std::string(opt::to_string(level));
+    for (const auto& global : w.outputs) {
+      EXPECT_EQ(run.outputs.at(global), base.outputs.at(global))
+          << w.name << " global " << global << " level "
+          << std::string(opt::to_string(level));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusDifferential,
+    ::testing::Range<std::size_t>(0, wl::default_corpus().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return wl::default_corpus()[info.param].name;
+    });
 
 }  // namespace
 }  // namespace asipfb

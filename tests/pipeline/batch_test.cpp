@@ -304,6 +304,36 @@ TEST(Sweep, SharesSubArtifactsAcrossTheGrid) {
   EXPECT_EQ(stats.extension_runs, 6u);
 }
 
+TEST(Sweep, JobsOverloadMatchesNameOverload) {
+  // The explicit-jobs sweep (the generated-corpus path) must produce the
+  // same grid, in the same order, as the by-name sweep of the same
+  // workload.
+  SweepOptions options;
+  options.levels = {opt::OptLevel::O0, opt::OptLevel::O1};
+  options.floor_percents = {4.0};
+  options.area_budgets = {10.0, 40.0};
+
+  SessionPool name_pool, job_pool;
+  const auto by_name =
+      sweep(std::vector<std::string>{"sewha"}, options, &name_pool);
+  const auto& w = wl::workload("sewha");
+  const auto by_job = sweep(std::vector<BatchJob>{{w.name, w.source, w.input}},
+                            options, &job_pool);
+  ASSERT_EQ(by_job.points.size(), by_name.points.size());
+  EXPECT_EQ(by_job.failures(), 0u);
+  for (std::size_t i = 0; i < by_name.points.size(); ++i) {
+    EXPECT_EQ(by_job.points[i].workload, by_name.points[i].workload);
+    EXPECT_EQ(by_job.points[i].level, by_name.points[i].level);
+    EXPECT_EQ(by_job.points[i].floor_percent, by_name.points[i].floor_percent);
+    EXPECT_EQ(by_job.points[i].area_budget, by_name.points[i].area_budget);
+    EXPECT_EQ(by_job.points[i].total_coverage, by_name.points[i].total_coverage);
+    EXPECT_EQ(by_job.points[i].selected, by_name.points[i].selected);
+    EXPECT_EQ(by_job.points[i].total_area, by_name.points[i].total_area);
+    EXPECT_EQ(by_job.points[i].speedup, by_name.points[i].speedup);
+  }
+  EXPECT_EQ(job_pool.size(), 1u) << "one preparation per job name";
+}
+
 TEST(Batch, CustomLevelsAndDetectorOptionsRespected) {
   BatchOptions options;
   options.levels = {opt::OptLevel::O1};

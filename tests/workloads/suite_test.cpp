@@ -116,6 +116,17 @@ TEST(Suite, SourceLinesPlausible) {
   }
 }
 
+TEST(Suite, HandWrittenWorkloadsCarryNoOracle) {
+  // Workload::expected/expected_exit are the *generated* corpus's oracle
+  // channel (workloads/generator.hpp); the hand-written Table-1 programs
+  // are checked differentially across optimization levels instead, so
+  // their oracle fields stay disengaged.
+  for (const auto& w : suite()) {
+    EXPECT_TRUE(w.expected.empty()) << w.name;
+    EXPECT_FALSE(w.expected_exit.has_value()) << w.name;
+  }
+}
+
 TEST(Suite, InputsAreDeterministic) {
   // suite() is a cached singleton, so compare against fresh factories via a
   // second process-equivalent call path: inputs must be identical objects.
