@@ -71,8 +71,10 @@ BENCHMARK(BM_DetectWithPruning)->DenseRange(0, 4)->Unit(benchmark::kMillisecond)
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_ablation_bnb"}, nullptr)) {
+    return 2;
+  }
   print_bnb();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

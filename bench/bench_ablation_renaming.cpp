@@ -76,8 +76,10 @@ BENCHMARK(BM_RenamePass)->DenseRange(0, 11)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_ablation_renaming"}, nullptr)) {
+    return 2;
+  }
   print_ablation();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

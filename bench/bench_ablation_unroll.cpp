@@ -64,8 +64,10 @@ BENCHMARK(BM_OptimizeAtFactor)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_ablation_unroll"}, nullptr)) {
+    return 2;
+  }
   print_sweep();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -85,8 +85,10 @@ BENCHMARK(BM_ProposeExtensions)->DenseRange(0, 11)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_asip_speedup"}, nullptr)) {
+    return 2;
+  }
   print_speedups();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

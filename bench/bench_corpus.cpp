@@ -13,7 +13,7 @@
 // Both are reported as workloads/second.
 //
 // Prints a per-family table, then emits BENCH_corpus.json in the current
-// directory (override the path with the first non-flag argument).
+// directory (override the path with the positional argument).
 // Timers: warm corpus fan-out, and one cold scenario for scale.
 #include <benchmark/benchmark.h>
 
@@ -23,8 +23,9 @@
 #include <string>
 #include <vector>
 
-#include "bench/json.hpp"
+#include "bench/common.hpp"
 #include "pipeline/batch.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 #include "workloads/generator.hpp"
 
@@ -136,7 +137,7 @@ void print_report(const CorpusReport& report, std::size_t total) {
 }
 
 std::string render_json(const CorpusReport& report, std::size_t total) {
-  bench::JsonWriter json;
+  support::JsonWriter json;
   json.begin_object()
       .member("bench", "corpus")
       .member("workloads", static_cast<std::uint64_t>(total))
@@ -200,6 +201,11 @@ BENCHMARK(BM_CorpusColdScenario)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string path;
+  if (!bench::parse_bench_args(&argc, argv,
+                               {"bench_corpus", "BENCH_corpus.json"}, &path)) {
+    return 2;
+  }
   const auto& corpus = wl::default_corpus();
   const auto jobs = corpus_jobs();
 
@@ -214,19 +220,9 @@ int main(int argc, char** argv) {
   const std::string json = render_json(report, corpus.size());
   std::fputs(json.c_str(), stdout);
 
-  // First non-flag argument overrides the output path; flags belong to the
-  // google-benchmark harness.
-  const char* path = "BENCH_corpus.json";
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i][0] != '-') {
-      path = argv[i];
-      break;
-    }
-  }
-  if (!bench::JsonWriter::write_file(path, json)) return 1;
+  if (!support::JsonWriter::write_file(path, json)) return 1;
   if (report.diff_fail != 0 || report.stage_failures != 0) return 1;
 
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

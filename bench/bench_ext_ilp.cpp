@@ -51,8 +51,10 @@ BENCHMARK(BM_MeasureIlp)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMilli
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_ext_ilp"}, nullptr)) {
+    return 2;
+  }
   print_ilp();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -61,8 +61,10 @@ BENCHMARK(BM_DetectLen2)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_fig3_len2"}, nullptr)) {
+    return 2;
+  }
   print_figure3();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

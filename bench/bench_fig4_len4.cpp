@@ -59,8 +59,10 @@ BENCHMARK(BM_DetectLen4)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_fig4_len4"}, nullptr)) {
+    return 2;
+  }
   print_figure4();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

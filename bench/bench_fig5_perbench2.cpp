@@ -53,8 +53,10 @@ BENCHMARK(BM_PerBenchLen2)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_fig5_perbench2"}, nullptr)) {
+    return 2;
+  }
   print_figure5();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -53,8 +53,10 @@ BENCHMARK(BM_PerBenchLen4)->DenseRange(0, 11)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_fig6_perbench4"}, nullptr)) {
+    return 2;
+  }
   print_figure6();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -1,0 +1,231 @@
+// Closed-loop load generator for the evaluation service (service::Server):
+// the serving-layer companion to bench_sim_throughput (execution engine)
+// and bench_corpus (batch fan-out).
+//
+// A fixed mix of distinct requests — every suite workload and a slice of
+// the generated corpus across compile/optimize/detect/coverage/extension
+// kinds — is driven through one Server:
+//
+//   * cold: one pass over the mix on a fresh pool, single client — the
+//     first-request path (compile + profile + stage per workload),
+//   * warm: closed-loop clients (each submits one request, waits, repeats)
+//     at 1, 4, and hardware_concurrency threads against the now-warm
+//     server — the steady-state memoized path.  Multi-client throughput
+//     exceeding single-client shows the worker pool actually overlaps
+//     request processing (on a 4+ core runner the 4-client run is
+//     expected to approach 4x).
+//
+// Emits BENCH_service.json (override the path with the positional
+// argument): per-point requests/s plus flat warm_1/warm_4/warm_max
+// members for tools/check_perf.py.  Any failed response fails the binary.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace asipfb;
+using Clock = std::chrono::steady_clock;
+
+/// Distinct requests covering every non-sweep kind over the suite plus a
+/// corpus slice — large enough that closed-loop clients don't hammer one
+/// Session's cache mutex in lockstep.
+std::vector<service::Request> request_mix() {
+  std::vector<service::Request> mix;
+  std::uint64_t id = 0;
+  auto add = [&](const std::string& workload, service::Kind kind,
+                 opt::OptLevel level) {
+    service::Request r;
+    r.id = ++id;
+    r.kind = kind;
+    r.workload = workload;
+    r.level = level;
+    mix.push_back(std::move(r));
+  };
+  for (const auto& w : wl::suite()) {
+    add(w.name, service::Kind::kCompile, opt::OptLevel::O0);
+    add(w.name, service::Kind::kOptimize, opt::OptLevel::O2);
+    add(w.name, service::Kind::kDetection, opt::OptLevel::O1);
+    add(w.name, service::Kind::kCoverage, opt::OptLevel::O1);
+    add(w.name, service::Kind::kExtension, opt::OptLevel::O1);
+  }
+  const auto& corpus = wl::default_corpus();
+  for (std::size_t i = 0; i < corpus.size() && i < 36; ++i) {
+    add(corpus[i].name, service::Kind::kDetection, opt::OptLevel::O1);
+  }
+  return mix;
+}
+
+struct LoadPoint {
+  int clients = 0;
+  std::uint64_t requests = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double requests_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0;
+  }
+};
+
+/// One cold pass: every distinct request exactly once, single client.
+LoadPoint cold_pass(service::Server& server,
+                    const std::vector<service::Request>& mix,
+                    std::size_t& failures) {
+  LoadPoint point;
+  point.clients = 1;
+  const auto start = Clock::now();
+  for (const auto& request : mix) {
+    if (!server.call(request).ok()) ++failures;
+    ++point.requests;
+  }
+  point.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return point;
+}
+
+/// Closed-loop: `clients` threads, each cycling through the mix (staggered
+/// start offsets) for `seconds` of wall time, one request in flight per
+/// client.
+LoadPoint closed_loop(service::Server& server,
+                      const std::vector<service::Request>& mix, int clients,
+                      double seconds, std::size_t& failures) {
+  LoadPoint point;
+  point.clients = clients;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  const auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::size_t next = (mix.size() * c) / std::max(1, clients);
+      while (Clock::now() < deadline) {
+        if (!server.call(mix[next]).ok()) failed.fetch_add(1);
+        completed.fetch_add(1, std::memory_order_relaxed);
+        next = (next + 1) % mix.size();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  point.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  point.requests = completed.load();
+  failures += failed.load();
+  return point;
+}
+
+std::string render_json(unsigned workers, std::size_t mix_size,
+                        const LoadPoint& cold,
+                        const std::vector<LoadPoint>& warm) {
+  support::JsonWriter json;
+  json.begin_object()
+      .member("bench", "service")
+      .member("workers", workers)
+      .member("distinct_requests", static_cast<std::uint64_t>(mix_size))
+      .key("cold")
+      .inline_object()
+      .member("clients", cold.clients)
+      .member("requests", cold.requests)
+      .member("seconds", cold.seconds)
+      .member("requests_per_sec", cold.requests_per_sec())
+      .end_object()
+      .key("warm")
+      .begin_array();
+  for (const auto& p : warm) {
+    json.inline_object()
+        .member("clients", p.clients)
+        .member("requests", p.requests)
+        .member("seconds", p.seconds)
+        .member("requests_per_sec", p.requests_per_sec())
+        .end_object();
+  }
+  json.end_array();
+  // Flat members for the perf gate (tools/check_perf.py) and for scaling
+  // at a glance; warm[0] is always the single-client point.
+  const double warm_1 = warm.front().requests_per_sec();
+  double warm_max = 0.0;
+  for (const auto& p : warm) warm_max = std::max(warm_max, p.requests_per_sec());
+  json.member("cold_requests_per_sec", cold.requests_per_sec())
+      .member("warm_1_requests_per_sec", warm_1)
+      .member("warm_max_requests_per_sec", warm_max)
+      .member("multi_client_speedup", warm_1 > 0.0 ? warm_max / warm_1 : 0.0)
+      .end_object();
+  return json.str() + "\n";
+}
+
+void BM_ServiceWarmCall(benchmark::State& state) {
+  // Single warm request round trip: queue + dispatch + memoized lookup.
+  service::Server server;
+  service::Request request;
+  request.id = 1;
+  request.kind = service::Kind::kDetection;
+  request.workload = "fir";
+  (void)server.call(request);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.call(request).sequences);
+  }
+  state.SetLabel("detect fir@O1");
+}
+BENCHMARK(BM_ServiceWarmCall)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  if (!bench::parse_bench_args(&argc, argv,
+                               {"bench_service", "BENCH_service.json"},
+                               &path)) {
+    return 2;
+  }
+
+  const std::vector<service::Request> mix = request_mix();
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  service::Server server;  // Private pool: the cold pass means it.
+  std::size_t failures = 0;
+
+  const LoadPoint cold = cold_pass(server, mix, failures);
+
+  std::vector<int> client_counts = {1, 4, static_cast<int>(hw)};
+  std::sort(client_counts.begin(), client_counts.end());
+  client_counts.erase(std::unique(client_counts.begin(), client_counts.end()),
+                      client_counts.end());
+  std::vector<LoadPoint> warm;
+  for (int clients : client_counts) {
+    warm.push_back(closed_loop(server, mix, clients, 0.4, failures));
+  }
+
+  std::printf("=== Evaluation service: closed-loop load (%u workers, %zu distinct requests) ===\n",
+              server.workers(), mix.size());
+  TextTable table({"Phase", "Clients", "Requests", "Seconds", "Req/s"});
+  auto add_row = [&](const char* phase, const LoadPoint& p) {
+    char seconds[32], rps[32];
+    std::snprintf(seconds, sizeof seconds, "%.3f", p.seconds);
+    std::snprintf(rps, sizeof rps, "%.0f", p.requests_per_sec());
+    table.add_row({phase, std::to_string(p.clients),
+                   std::to_string(p.requests), seconds, rps});
+  };
+  add_row("cold", cold);
+  for (const auto& p : warm) add_row("warm", p);
+  std::printf("%s\n", table.render().c_str());
+
+  const std::string json = render_json(server.workers(), mix.size(), cold, warm);
+  std::fputs(json.c_str(), stdout);
+  if (!support::JsonWriter::write_file(path, json)) return 1;
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_service: %zu failed responses\n", failures);
+    return 1;
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,16 +8,17 @@
 // on — so the measurement isolates the execution engine itself.
 //
 // Prints the JSON to stdout and writes it to BENCH_sim_throughput.json in
-// the current directory (override the path with argv[1]).
+// the current directory (override the path with the positional argument).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 
-#include "bench/json.hpp"
+#include "bench/common.hpp"
 #include "frontend/compile.hpp"
 #include "opt/cleanup.hpp"
 #include "sim/machine.hpp"
+#include "support/json.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -65,7 +66,13 @@ Measurement measure(asipfb::sim::Machine& machine,
 
 int main(int argc, char** argv) {
   using namespace asipfb;
-  bench::JsonWriter json;
+  std::string path;
+  if (!bench::parse_bench_args(
+          &argc, argv, {"bench_sim_throughput", "BENCH_sim_throughput.json"},
+          &path)) {
+    return 2;
+  }
+  support::JsonWriter json;
   json.begin_object()
       .member("bench", "sim_throughput")
       .member("unit", "dynamic_ops_per_sec")
@@ -95,6 +102,5 @@ int main(int argc, char** argv) {
 
   std::fputs(json.str().c_str(), stdout);
   std::fputs("\n", stdout);
-  const char* path = argc > 1 ? argv[1] : "BENCH_sim_throughput.json";
-  return bench::JsonWriter::write_file(path, json.str() + "\n") ? 0 : 1;
+  return support::JsonWriter::write_file(path, json.str() + "\n") ? 0 : 1;
 }

@@ -4,7 +4,7 @@
 // at each — coverage, selected extensions, area spent, and speedup.
 //
 // Prints a per-corner table, then emits the grid as machine-readable JSON
-// (BENCH_sweep.json in the current directory; override with argv[1]).
+// (BENCH_sweep.json in the current directory; override with the positional argument).
 // Timers: the warm sweep (the memoized service path — every artifact
 // cached after the first pass) against one cold corner for scale.
 #include <benchmark/benchmark.h>
@@ -13,7 +13,7 @@
 #include <string>
 
 #include "bench/common.hpp"
-#include "bench/json.hpp"
+#include "support/json.hpp"
 #include "pipeline/batch.hpp"
 #include "support/table.hpp"
 
@@ -30,7 +30,7 @@ pipeline::SweepOptions sweep_grid() {
 }
 
 std::string render_sweep_json(const pipeline::SweepResult& result) {
-  bench::JsonWriter json;
+  support::JsonWriter json;
   json.begin_object()
       .member("bench", "sweep")
       .member("points", static_cast<std::uint64_t>(result.points.size()))
@@ -105,21 +105,16 @@ BENCHMARK(BM_SweepColdCorner)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string path;
+  if (!bench::parse_bench_args(&argc, argv, {"bench_sweep", "BENCH_sweep.json"},
+                               &path)) {
+    return 2;
+  }
   const auto result = pipeline::sweep_suite(sweep_grid());
   print_sweep(result);
   const std::string json = render_sweep_json(result);
   std::fputs(json.c_str(), stdout);
-  // First non-flag argument overrides the output path; flags belong to
-  // the google-benchmark harness.
-  const char* path = "BENCH_sweep.json";
-  for (int i = 1; i < argc; ++i) {
-    if (argv[i][0] != '-') {
-      path = argv[i];
-      break;
-    }
-  }
-  if (!bench::JsonWriter::write_file(path, json)) return 1;
-  benchmark::Initialize(&argc, argv);
+  if (!support::JsonWriter::write_file(path, json)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -39,8 +39,10 @@ BENCHMARK(BM_CompileAndProfile)->DenseRange(0, 11)->Unit(benchmark::kMillisecond
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_table1"}, nullptr)) {
+    return 2;
+  }
   print_table1();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -70,8 +70,10 @@ BENCHMARK(BM_ThreeLevelAnalysis)->DenseRange(0, 11)->Unit(benchmark::kMillisecon
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_table2"}, nullptr)) {
+    return 2;
+  }
   print_table2();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

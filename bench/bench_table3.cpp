@@ -64,8 +64,10 @@ BENCHMARK(BM_Coverage)->DenseRange(0, 9)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (!bench::parse_bench_args(&argc, argv, {"bench_table3"}, nullptr)) {
+    return 2;
+  }
   print_table3();
-  benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

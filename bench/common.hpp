@@ -17,6 +17,25 @@
 
 namespace asipfb::bench {
 
+/// Shared argv contract of every bench driver:
+///
+///   bench_X [OUTPUT.json] [--benchmark_* flags]
+///
+/// The one optional positional is the JSON artifact path (only for
+/// drivers that write one — `default_output` nullptr means none is
+/// accepted).  Everything starting with '-' goes to google-benchmark;
+/// flags neither we nor the harness recognize, or stray positionals, are
+/// *errors*: usage goes to stderr and false comes back so the driver can
+/// exit nonzero — a misconfigured CI invocation must fail loudly, not
+/// silently fall back to defaults (or, worse, write its artifact to a
+/// file named after a flag).  Call this before any heavy work.
+struct BenchCli {
+  const char* name;                    ///< argv[0] basename for usage text.
+  const char* default_output = nullptr;  ///< Artifact path; nullptr = none.
+};
+[[nodiscard]] bool parse_bench_args(int* argc, char** argv, const BenchCli& cli,
+                                    std::string* output_path);
+
 /// The process-wide memoizing Session of a suite workload: compile+profile
 /// runs once per binary, every analysis artifact once per option set.
 pipeline::Session& session(const std::string& name);

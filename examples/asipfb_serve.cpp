@@ -1,0 +1,195 @@
+// asipfb_serve: the evaluation service behind a newline-delimited
+// request/response protocol over stdin/stdout, so shells, scripts, and CI
+// can drive the concurrent server without linking anything.
+//
+//   $ ./examples/asipfb_serve [--workers N] [--queue N] [--latency]
+//   > 1 detect fir level=O1
+//   < {"id": 1, "kind": "detect", "workload": "fir", "ok": true, ...}
+//
+// One command per input line (grammar: src/service/protocol.hpp and
+// docs/SERVICE.md).  Requests are submitted asynchronously to a
+// service::Server and responses are printed in submission order, so a
+// scripted session's output is deterministic and diffable — CI pipes
+// examples/serve_demo.txt through this binary and diffs the result.
+// Control lines: `source <name> <n>` binds the next n raw lines as BenchC
+// under a workload name, `stats` prints server counters, `ping` prints a
+// liveness line, `quit` (or EOF) drains and exits.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+
+using namespace asipfb;
+
+namespace {
+
+struct ServeOptions {
+  service::ServerOptions server;
+  bool with_latency = false;
+  bool help = false;
+};
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: asipfb_serve [--workers N] [--queue N] [--latency]\n"
+               "\n"
+               "Serves the compiler-feedback pipeline over a line protocol:\n"
+               "one command per stdin line, one JSON response per stdout\n"
+               "line, in submission order.\n"
+               "\n"
+               "  <id> <kind> <workload> [key=value]...\n"
+               "      kind: compile|optimize|detect|coverage|extension|sweep\n"
+               "      keys: level min max prune adjacency maxocc floor rounds\n"
+               "            area cycle levels floors budgets\n"
+               "  source <name> <line-count>   bind BenchC text to a name\n"
+               "  stats | ping | quit          control lines\n"
+               "\n"
+               "options:\n"
+               "  --workers N   worker threads        (default: hardware)\n"
+               "  --queue N     queue capacity        (default 256)\n"
+               "  --latency     include latency/uptime fields in output\n"
+               "                (nondeterministic; off for diffable runs)\n"
+               "  --help        print this help and exit\n");
+}
+
+bool parse_args(int argc, char** argv, ServeOptions& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) return false;
+      options.server.workers = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--queue") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) return false;
+      options.server.queue_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--latency") {
+      options.with_latency = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  if (!parse_args(argc, argv, options)) {
+    print_usage(stderr);
+    return 2;
+  }
+  if (options.help) {
+    print_usage(stdout);
+    return 0;
+  }
+
+  service::Server server(options.server);
+  std::map<std::string, std::string> sources;  // `source`-bound programs.
+  std::deque<std::future<service::Response>> pending;
+
+  auto drain = [&] {
+    while (!pending.empty()) {
+      std::printf("%s\n", service::render_response(pending.front().get(),
+                                                   options.with_latency)
+                              .c_str());
+      pending.pop_front();
+    }
+    std::fflush(stdout);
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    service::Command command;
+    try {
+      command = service::parse_command(line);
+      if (command.type == service::Command::Type::kSource) {
+        std::string text;
+        for (int n = 0; n < command.source_lines; ++n) {
+          std::string body;
+          if (!std::getline(std::cin, body)) {
+            throw std::invalid_argument("EOF inside source block '" +
+                                        command.source_name + "'");
+          }
+          text += body;
+          text += '\n';
+        }
+        sources[command.source_name] = text;
+      }
+    } catch (const std::exception& ex) {
+      drain();  // Keep output in input order even for parse errors.
+      std::printf("%s\n", service::render_error(ex.what()).c_str());
+      std::fflush(stdout);
+      continue;
+    }
+
+    switch (command.type) {
+      case service::Command::Type::kComment:
+        break;
+      case service::Command::Type::kSource: {
+        drain();
+        support::JsonWriter ack;
+        ack.inline_object()
+            .member("source", command.source_name)
+            .member("lines", command.source_lines)
+            .end_object();
+        std::printf("%s\n", ack.str().c_str());
+        std::fflush(stdout);
+        break;
+      }
+      case service::Command::Type::kRequest: {
+        auto it = sources.find(command.request.workload);
+        if (it != sources.end()) command.request.source = it->second;
+        pending.push_back(server.submit(std::move(command.request)));
+        // Print any responses that are already finished, preserving order.
+        while (!pending.empty() &&
+               pending.front().wait_for(std::chrono::seconds(0)) ==
+                   std::future_status::ready) {
+          std::printf("%s\n", service::render_response(pending.front().get(),
+                                                       options.with_latency)
+                                  .c_str());
+          pending.pop_front();
+          std::fflush(stdout);
+        }
+        break;
+      }
+      case service::Command::Type::kStats:
+        drain();  // Counters are deterministic once all pending work is done.
+        std::printf("%s\n",
+                    service::render_stats(server.stats(), options.with_latency)
+                        .c_str());
+        std::fflush(stdout);
+        break;
+      case service::Command::Type::kPing: {
+        drain();
+        support::JsonWriter pong;
+        pong.inline_object()
+            .member("pong", true)
+            .member("workers", server.workers())
+            .end_object();
+        std::printf("%s\n", pong.str().c_str());
+        std::fflush(stdout);
+        break;
+      }
+      case service::Command::Type::kQuit:
+        drain();
+        return 0;
+    }
+  }
+  drain();
+  return 0;
+}

@@ -248,15 +248,21 @@ Session::Stats Session::stats() const {
 
 // --- SessionPool ------------------------------------------------------------
 
-SessionPool::Entry& SessionPool::entry_for(const std::string& key) {
+std::shared_ptr<SessionPool::Entry> SessionPool::entry_for(
+    const std::string& key) {
   const std::lock_guard<std::mutex> lock(mu_);
-  return entries_[key];
+  std::shared_ptr<Entry>& entry = entries_[key];
+  if (entry == nullptr) entry = std::make_shared<Entry>();
+  return entry;
 }
 
 std::shared_ptr<Session> SessionPool::get(const std::string& key,
                                           std::string_view source,
                                           const WorkloadInput& input) {
-  Entry& entry = entry_for(key);
+  // The shared_ptr keeps the entry alive across the (possibly long)
+  // preparation even if clear() detaches it from the pool concurrently.
+  const std::shared_ptr<Entry> held = entry_for(key);
+  Entry& entry = *held;
   std::call_once(entry.once, [&] {
     entry.source = std::string(source);  // bind key to source even on failure
     try {
@@ -288,12 +294,18 @@ std::shared_ptr<Session> SessionPool::get(const std::string& workload_name) {
 std::shared_ptr<Session> SessionPool::put(const std::string& key,
                                           PreparedProgram prepared,
                                           std::string_view source) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = entries_.try_emplace(key);
-  if (!inserted) {
-    throw std::invalid_argument("SessionPool key '" + key + "' already bound");
+  std::shared_ptr<Entry> held;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (!inserted) {
+      throw std::invalid_argument("SessionPool key '" + key +
+                                  "' already bound");
+    }
+    it->second = std::make_shared<Entry>();
+    held = it->second;
   }
-  Entry& entry = it->second;
+  Entry& entry = *held;
   std::call_once(entry.once, [&] {
     if (source.empty()) {
       // Sentinel (never valid BenchC — leading NUL, explicit length): a
@@ -315,7 +327,7 @@ std::size_t SessionPool::size() const {
   for (const auto& [key, entry] : entries_) {
     // `ready` (not `session`) is read here: a call_once writer may be
     // filling `session` concurrently; the atomic is the completion flag.
-    if (entry.ready.load(std::memory_order_acquire)) ++n;
+    if (entry != nullptr && entry->ready.load(std::memory_order_acquire)) ++n;
   }
   return n;
 }

@@ -183,7 +183,12 @@ class SessionPool {
   [[nodiscard]] std::size_t size() const;
 
   /// Drops every entry (including latched failures).  Sessions still held
-  /// via shared_ptr stay alive; the pool just forgets them.
+  /// via shared_ptr stay alive; the pool just forgets them.  Safe against
+  /// concurrent get()/put(): entries are reference-counted, so an in-flight
+  /// preparation completes on its own (now forgotten) entry — the one
+  /// consequence of racing clear() is that such a key may be prepared
+  /// again by a later get().  (The one-preparation-per-key guarantee is
+  /// per entry lifetime, i.e. between clears.)
   void clear();
 
   /// Process-wide instance.
@@ -198,10 +203,14 @@ class SessionPool {
     std::string error;               ///< Latched failure; rethrown on later gets.
   };
 
-  Entry& entry_for(const std::string& key);
+  std::shared_ptr<Entry> entry_for(const std::string& key);
 
   mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;  // node-based: references stay valid
+  /// Entries are shared_ptr-held so clear() only detaches them: a thread
+  /// mid-call_once on an entry keeps it alive and finishes safely even if
+  /// the pool has already forgotten the key (service-churn contract,
+  /// pinned by tests/pipeline/session_pool_churn_test.cpp).
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
 };
 
 }  // namespace asipfb::pipeline

@@ -1,0 +1,178 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace asipfb::service {
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.queue_capacity == 0) {
+    throw std::invalid_argument("Server queue_capacity must be >= 1");
+  }
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<pipeline::SessionPool>();
+    pool_ = owned_pool_.get();
+  }
+  started_ = Clock::now();
+  unsigned n = options_.workers != 0 ? options_.workers
+                                     : std::thread::hardware_concurrency();
+  n = std::max(1u, n);
+  threads_.reserve(n);
+  for (unsigned t = 0; t < n; ++t) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Response> Server::submit(Request request) {
+  Job job;
+  job.request = std::move(request);
+  job.accepted = Clock::now();
+  std::future<Response> future = job.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      throw std::runtime_error("service::Server is shut down");
+    }
+    queue_.push_back(std::move(job));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  not_empty_.notify_one();
+  return future;
+}
+
+std::optional<std::future<Response>> Server::try_submit(Request request) {
+  Job job;
+  job.request = std::move(request);
+  job.accepted = Clock::now();
+  std::future<Response> future = job.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    queue_.push_back(std::move(job));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  not_empty_.notify_one();
+  return future;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // A submitter may be blocked on the slot just freed; during shutdown
+    // the drain loop below keeps popping, so waking one waiter suffices.
+    not_full_.notify_one();
+    if (options_.on_start) options_.on_start(job.request);
+
+    Response response = evaluate(job.request, *pool_);  // Never throws.
+    record_latency(job.accepted);
+    response.latency_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - job.accepted)
+            .count();
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_by_kind_[static_cast<std::size_t>(job.request.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (!response.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(std::move(response));
+  }
+}
+
+void Server::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && threads_.empty()) return;  // Already shut down.
+    stopping_ = true;
+  }
+  // Wake every blocked submitter (they observe stopping_ and throw) and
+  // every idle worker (they drain the queue, then exit).
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void Server::record_latency(Clock::time_point accepted) {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - accepted)
+                      .count();
+  const std::uint64_t v = ns > 0 ? static_cast<std::uint64_t>(ns) : 1;
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(v) - 1, kLatencyBuckets - 1);
+  latency_ns_[bucket].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = max_latency_ns_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_latency_ns_.compare_exchange_weak(seen, v,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+Stats Server::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    s.completed_by_kind[k] =
+        completed_by_kind_[k].load(std::memory_order_relaxed);
+  }
+  s.queue_depth = queue_depth();
+  s.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+
+  std::array<std::uint64_t, kLatencyBuckets> counts{};
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+    counts[b] = latency_ns_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  auto quantile = [&](double q) -> double {
+    if (total == 0) return 0.0;
+    const std::uint64_t target =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= target) {
+        if (b + 1 >= kLatencyBuckets) break;  // Top bucket: fall back to max.
+        return static_cast<double>(std::uint64_t{1} << (b + 1)) / 1000.0;
+      }
+    }
+    return static_cast<double>(max_latency_ns_.load()) / 1000.0;
+  };
+  s.p50_latency_us = quantile(0.50);
+  s.p99_latency_us = quantile(0.99);
+  s.max_latency_us =
+      static_cast<double>(max_latency_ns_.load(std::memory_order_relaxed)) /
+      1000.0;
+  return s;
+}
+
+std::size_t Server::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace asipfb::service

@@ -1,0 +1,144 @@
+// Asynchronous evaluation server: a thread-safe bounded job queue + worker
+// pool over SessionPool — the serving layer of the Figure-1 feedback loop.
+//
+// Many clients submit structured Requests (service.hpp); `workers` threads
+// drain the queue and run evaluate() against one shared SessionPool, so
+// concurrent and repeated requests share prepared baselines and memoized
+// artifacts instead of recomputing them.  Contracts:
+//
+//   * Bounded queue with backpressure — submit() blocks while the queue
+//     holds `queue_capacity` jobs; try_submit() refuses immediately
+//     (counted in Stats::rejected) so callers can shed load instead.
+//   * Per-request errors are latched into Response::error; a bad request
+//     (unknown workload, compile failure, option mismatch) never kills a
+//     worker or tears down the server.
+//   * Graceful shutdown — shutdown() stops accepting, drains every
+//     accepted job (each future receives its response), then joins the
+//     workers.  The destructor calls shutdown().
+//   * Determinism — responses depend only on the request (see
+//     service.hpp); the server adds no ordering sensitivity.
+//
+// Stats() is a consistent-enough snapshot for monitoring: monotonic
+// counters (submitted/completed/failed/rejected, per-kind completions),
+// live queue depth, uptime, and p50/p99/max latency from a lock-free
+// log-scale histogram.  docs/SERVICE.md describes the threading model in
+// prose; tests/service/server_test.cpp pins every contract above.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "pipeline/session.hpp"
+#include "service/service.hpp"
+
+namespace asipfb::service {
+
+struct ServerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned workers = 0;
+  /// Maximum queued (accepted but not yet started) jobs; >= 1.
+  std::size_t queue_capacity = 256;
+  /// Shared SessionPool; nullptr means a server-private pool.
+  pipeline::SessionPool* pool = nullptr;
+  /// Observability hook, invoked by the worker thread immediately before a
+  /// job's evaluation begins.  Used by tests to coordinate backpressure
+  /// scenarios and by embedders for request logging; must not throw.
+  std::function<void(const Request&)> on_start;
+};
+
+/// Monitoring snapshot; all counters monotonic since construction.
+struct Stats {
+  std::uint64_t submitted = 0;  ///< Accepted by submit()/try_submit().
+  std::uint64_t rejected = 0;   ///< try_submit() refusals (queue full/stopped).
+  std::uint64_t completed = 0;  ///< Responses delivered (ok or error).
+  std::uint64_t failed = 0;     ///< Completed with nonempty error.
+  std::array<std::uint64_t, kKindCount> completed_by_kind{};
+  std::size_t queue_depth = 0;  ///< Accepted, not yet started.
+  double uptime_seconds = 0.0;  ///< Per-stage throughput = by_kind / uptime.
+  double p50_latency_us = 0.0;  ///< Accept-to-complete, histogram estimate.
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();  ///< shutdown().
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues a request; blocks while the queue is at capacity.  The
+  /// future receives the Response (error responses included — it never
+  /// holds an exception).  Throws std::runtime_error after shutdown().
+  std::future<Response> submit(Request request);
+
+  /// As submit(), but refuses instead of blocking: nullopt when the queue
+  /// is full or the server is shut down (counted in Stats::rejected).
+  std::optional<std::future<Response>> try_submit(Request request);
+
+  /// submit() + wait: the synchronous convenience for CLI-style callers.
+  Response call(Request request) { return submit(std::move(request)).get(); }
+
+  /// Stops accepting, drains every accepted job, joins the workers.
+  /// Idempotent and safe to race with submitters (they get the
+  /// runtime_error / nullopt refusal).
+  void shutdown();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+  [[nodiscard]] pipeline::SessionPool& pool() { return *pool_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Request request;
+    std::promise<Response> promise;
+    Clock::time_point accepted;
+  };
+
+  void worker_loop();
+  void record_latency(Clock::time_point accepted);
+
+  ServerOptions options_;
+  std::unique_ptr<pipeline::SessionPool> owned_pool_;  ///< Null when shared.
+  pipeline::SessionPool* pool_ = nullptr;
+  Clock::time_point started_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::array<std::atomic<std::uint64_t>, kKindCount> completed_by_kind_{};
+
+  /// Latency histogram: bucket i counts completions with accept-to-complete
+  /// time in [2^i, 2^(i+1)) nanoseconds; quantiles interpolate bucket
+  /// upper bounds (a <= 2x overestimate — monitoring-grade, not billing).
+  static constexpr std::size_t kLatencyBuckets = 64;
+  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_ns_{};
+  std::atomic<std::uint64_t> max_latency_ns_{0};
+};
+
+}  // namespace asipfb::service

@@ -1,8 +1,8 @@
-#include "bench/json.hpp"
+#include "support/json.hpp"
 
 #include <cstdio>
 
-namespace asipfb::bench {
+namespace asipfb::support {
 
 bool JsonWriter::inlined() const {
   for (const Frame& f : stack_) {
@@ -144,4 +144,4 @@ bool JsonWriter::write_file(const std::string& path, const std::string& json) {
   return true;
 }
 
-}  // namespace asipfb::bench
+}  // namespace asipfb::support

@@ -1,12 +1,13 @@
 // Minimal streaming JSON writer shared by the bench binaries'
-// machine-readable outputs (BENCH_*.json artifacts).
+// machine-readable outputs (BENCH_*.json artifacts) and the evaluation
+// service's line protocol (src/service/protocol.hpp).
 //
 // Replaces the hand-rolled snprintf emission each driver used to carry:
 // objects/arrays nest, members are emitted in call order, commas and
 // indentation are managed internally, and doubles default to the %.4g
 // formatting the bench outputs have always used.  Objects opened with
 // inline_object() render on one line — the per-row style of the existing
-// artifacts.
+// artifacts and the service's one-line responses.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +15,7 @@
 #include <string_view>
 #include <vector>
 
-namespace asipfb::bench {
+namespace asipfb::support {
 
 class JsonWriter {
  public:
@@ -66,4 +67,4 @@ class JsonWriter {
   bool have_key_ = false;  ///< A key was emitted; next value attaches to it.
 };
 
-}  // namespace asipfb::bench
+}  // namespace asipfb::support

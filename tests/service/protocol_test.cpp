@@ -1,0 +1,163 @@
+// Grammar and rendering contracts of the service line protocol
+// (src/service/protocol.hpp): request parsing with every option key,
+// control lines, malformed-input diagnostics, and the deterministic
+// one-line JSON renderings the CI smoke diff relies on.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace asipfb::service {
+namespace {
+
+TEST(ServiceProtocol, ParsesFullDetectionRequest) {
+  const Command c = parse_command(
+      "7 detect fir level=O2 min=3 max=4 prune=1.5 adjacency=1 maxocc=1000");
+  ASSERT_EQ(c.type, Command::Type::kRequest);
+  EXPECT_EQ(c.request.id, 7u);
+  EXPECT_EQ(c.request.kind, Kind::kDetection);
+  EXPECT_EQ(c.request.workload, "fir");
+  EXPECT_EQ(c.request.level, opt::OptLevel::O2);
+  EXPECT_EQ(c.request.detector.min_length, 3);
+  EXPECT_EQ(c.request.detector.max_length, 4);
+  EXPECT_DOUBLE_EQ(c.request.detector.prune_percent, 1.5);
+  EXPECT_TRUE(c.request.detector.require_adjacency);
+  EXPECT_EQ(c.request.detector.max_occurrences, 1000u);
+  // min/max/adjacency mirror into the coverage options so one knob set
+  // configures whichever stage runs.
+  EXPECT_EQ(c.request.coverage.min_length, 3);
+  EXPECT_TRUE(c.request.coverage.require_adjacency);
+}
+
+TEST(ServiceProtocol, ParsesCoverageExtensionAndSweepKeys) {
+  const Command cov = parse_command("1 coverage edge floor=2.5 rounds=6");
+  EXPECT_DOUBLE_EQ(cov.request.coverage.floor_percent, 2.5);
+  EXPECT_EQ(cov.request.coverage.max_rounds, 6);
+
+  const Command ext = parse_command("2 extension fir area=25 cycle=6");
+  EXPECT_DOUBLE_EQ(ext.request.selection.area_budget, 25.0);
+  EXPECT_DOUBLE_EQ(ext.request.selection.cycle_budget, 6.0);
+
+  const Command sweep =
+      parse_command("3 sweep dft levels=O0,O2 floors=2,4 budgets=10,40,80");
+  ASSERT_EQ(sweep.request.grid.levels.size(), 2u);
+  EXPECT_EQ(sweep.request.grid.levels[0], opt::OptLevel::O0);
+  EXPECT_EQ(sweep.request.grid.levels[1], opt::OptLevel::O2);
+  ASSERT_EQ(sweep.request.grid.floor_percents.size(), 2u);
+  EXPECT_DOUBLE_EQ(sweep.request.grid.floor_percents[1], 4.0);
+  ASSERT_EQ(sweep.request.grid.area_budgets.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep.request.grid.area_budgets[2], 80.0);
+}
+
+TEST(ServiceProtocol, ParsesControlAndCommentLines) {
+  EXPECT_EQ(parse_command("stats").type, Command::Type::kStats);
+  EXPECT_EQ(parse_command("ping").type, Command::Type::kPing);
+  EXPECT_EQ(parse_command("quit").type, Command::Type::kQuit);
+  EXPECT_EQ(parse_command("").type, Command::Type::kComment);
+  EXPECT_EQ(parse_command("   ").type, Command::Type::kComment);
+  EXPECT_EQ(parse_command("# a comment").type, Command::Type::kComment);
+  // Blank means the full isspace set, not just space/tab/CR.
+  EXPECT_EQ(parse_command("\v").type, Command::Type::kComment);
+  EXPECT_EQ(parse_command(" \f \v ").type, Command::Type::kComment);
+
+  const Command source = parse_command("source mykernel 12");
+  ASSERT_EQ(source.type, Command::Type::kSource);
+  EXPECT_EQ(source.source_name, "mykernel");
+  EXPECT_EQ(source.source_lines, 12);
+}
+
+TEST(ServiceProtocol, EveryKindVerbRoundTrips) {
+  for (std::size_t k = 0; k < kKindCount; ++k) {
+    const Kind kind = static_cast<Kind>(k);
+    const auto parsed = parse_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value()) << to_string(kind);
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_kind("detection").has_value());
+  EXPECT_FALSE(parse_kind("").has_value());
+}
+
+TEST(ServiceProtocol, MalformedLinesThrowWithDiagnostics) {
+  EXPECT_THROW((void)parse_command("x detect fir"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 frobnicate fir"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect fir level=O9"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect fir nonsense"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect fir =3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect fir min="), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect fir bogus=3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect fir adjacency=2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_command("1 detect fir min=abc"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("source onlyname"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("source name 0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_command("stats now"), std::invalid_argument);
+
+  try {
+    (void)parse_command("1 detect fir bogus=3");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(ServiceProtocol, RenderedResponsesAreDeterministicOneLiners) {
+  Response r;
+  r.id = 3;
+  r.kind = Kind::kDetection;
+  r.workload = "fir";
+  r.total_cycles = 1000;
+  r.sequences = 19;
+  r.top_frequency = 36.51;
+  r.latency_us = 123.456;  // Must NOT appear without with_latency.
+  const std::string line = render_response(r);
+  EXPECT_EQ(line,
+            "{\"id\": 3, \"kind\": \"detect\", \"workload\": \"fir\", "
+            "\"ok\": true, \"cycles\": 1000, \"sequences\": 19, "
+            "\"top_frequency\": 36.51}");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const std::string with_latency = render_response(r, /*with_latency=*/true);
+  EXPECT_NE(with_latency.find("latency_us"), std::string::npos);
+}
+
+TEST(ServiceProtocol, RenderedErrorCarriesOnlyStableFields) {
+  Response r;
+  r.id = 9;
+  r.kind = Kind::kSweep;
+  r.workload = "nosuch";
+  r.error = "no such workload";
+  r.latency_us = 7.0;
+  EXPECT_EQ(render_response(r),
+            "{\"id\": 9, \"kind\": \"sweep\", \"workload\": \"nosuch\", "
+            "\"ok\": false, \"error\": \"no such workload\"}");
+}
+
+TEST(ServiceProtocol, RenderedStatsExcludeTimingByDefault) {
+  Stats s;
+  s.submitted = 8;
+  s.completed = 8;
+  s.failed = 3;
+  s.completed_by_kind[static_cast<std::size_t>(Kind::kCompile)] = 2;
+  s.completed_by_kind[static_cast<std::size_t>(Kind::kDetection)] = 3;
+  s.uptime_seconds = 1.5;
+  s.p50_latency_us = 10.0;
+  const std::string line = render_stats(s);
+  EXPECT_EQ(line,
+            "{\"stats\": true, \"submitted\": 8, \"completed\": 8, "
+            "\"failed\": 3, \"rejected\": 0, \"queue_depth\": 0, "
+            "\"compile\": 2, \"optimize\": 0, \"detect\": 3, "
+            "\"coverage\": 0, \"extension\": 0, \"sweep\": 0}");
+  EXPECT_NE(render_stats(s, /*with_latency=*/true).find("p50_latency_us"),
+            std::string::npos);
+}
+
+TEST(ServiceProtocol, RenderErrorEscapesMessage) {
+  EXPECT_EQ(render_error("bad \"line\""),
+            "{\"ok\": false, \"error\": \"bad \\\"line\\\"\"}");
+}
+
+}  // namespace
+}  // namespace asipfb::service

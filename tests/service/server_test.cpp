@@ -1,0 +1,394 @@
+// Contracts of the concurrent evaluation service (service::Server):
+// determinism (concurrent == serial, bit-identical through the rendered
+// protocol), bounded-queue backpressure, graceful shutdown draining,
+// latched per-request errors that never kill a worker, and Stats
+// accounting.  This suite runs under the CI TSan leg.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/service.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb::service {
+namespace {
+
+Request make_request(std::uint64_t id, Kind kind, std::string workload,
+                     opt::OptLevel level = opt::OptLevel::O1) {
+  Request r;
+  r.id = id;
+  r.kind = kind;
+  r.workload = std::move(workload);
+  r.level = level;
+  return r;
+}
+
+/// A representative mixed-stage request list: every kind, several
+/// workloads (suite + generated corpus), several levels and option sets.
+std::vector<Request> mixed_requests() {
+  std::vector<Request> requests;
+  std::uint64_t id = 0;
+  for (const std::string name : {"fir", "edge", "dft"}) {
+    requests.push_back(make_request(++id, Kind::kCompile, name));
+    requests.push_back(
+        make_request(++id, Kind::kOptimize, name, opt::OptLevel::O2));
+    requests.push_back(make_request(++id, Kind::kDetection, name));
+    requests.push_back(
+        make_request(++id, Kind::kDetection, name, opt::OptLevel::O0));
+    requests.push_back(make_request(++id, Kind::kCoverage, name));
+    requests.push_back(make_request(++id, Kind::kExtension, name));
+  }
+  Request floor2 = make_request(++id, Kind::kCoverage, "fir");
+  floor2.coverage.floor_percent = 2.0;
+  requests.push_back(floor2);
+  Request tight = make_request(++id, Kind::kExtension, "edge");
+  tight.selection.area_budget = 10.0;
+  requests.push_back(tight);
+  Request sweep = make_request(++id, Kind::kSweep, "fir");
+  sweep.grid.levels = {opt::OptLevel::O0, opt::OptLevel::O1};
+  sweep.grid.floor_percents = {2.0, 4.0};
+  sweep.grid.area_budgets = {40.0};
+  requests.push_back(sweep);
+  const auto& corpus = wl::default_corpus();
+  for (std::size_t i = 0; i < 4 && i < corpus.size(); ++i) {
+    requests.push_back(make_request(++id, Kind::kDetection, corpus[i].name));
+  }
+  return requests;
+}
+
+TEST(ServiceEvaluate, CompileSummaryMatchesSession) {
+  pipeline::SessionPool pool;
+  const Response r =
+      evaluate(make_request(7, Kind::kCompile, "fir", opt::OptLevel::O0), pool);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.id, 7u);
+  EXPECT_EQ(r.kind, Kind::kCompile);
+  const auto session = pool.get("fir");
+  EXPECT_EQ(r.total_cycles, session->total_cycles());
+  EXPECT_EQ(r.exit_code, session->prepared().baseline_run.exit_code);
+  EXPECT_EQ(r.instructions, session->prepared().module.instr_count());
+}
+
+TEST(ServiceEvaluate, EveryKindFillsItsFields) {
+  pipeline::SessionPool pool;
+  const Response detect =
+      evaluate(make_request(1, Kind::kDetection, "fir"), pool);
+  ASSERT_TRUE(detect.ok());
+  EXPECT_GT(detect.sequences, 0u);
+  EXPECT_GT(detect.top_frequency, 0.0);
+
+  const Response coverage =
+      evaluate(make_request(2, Kind::kCoverage, "fir"), pool);
+  ASSERT_TRUE(coverage.ok());
+  EXPECT_GT(coverage.steps, 0u);
+  EXPECT_GT(coverage.total_coverage, 0.0);
+
+  const Response extension =
+      evaluate(make_request(3, Kind::kExtension, "fir"), pool);
+  ASSERT_TRUE(extension.ok());
+  EXPECT_GT(extension.selected, 0u);
+  EXPECT_GE(extension.speedup, 1.0);
+
+  Request sweep = make_request(4, Kind::kSweep, "fir");
+  sweep.grid.levels = {opt::OptLevel::O1};
+  sweep.grid.floor_percents = {4.0};
+  sweep.grid.area_budgets = {40.0};
+  const Response swept = evaluate(sweep, pool);
+  ASSERT_TRUE(swept.ok()) << swept.error;
+  EXPECT_EQ(swept.points, 1u);
+  EXPECT_EQ(swept.point_failures, 0u);
+  EXPECT_GE(swept.speedup, 1.0);
+}
+
+TEST(ServiceEvaluate, SweepReportsBestPointEvenAtUnitSpeedup) {
+  // A zero area budget selects nothing, so every point's speedup is
+  // exactly 1.0 — the best-point summary must still carry that point's
+  // coverage instead of the zero defaults.
+  pipeline::SessionPool pool;
+  Request sweep = make_request(1, Kind::kSweep, "fir");
+  sweep.grid.levels = {opt::OptLevel::O1};
+  sweep.grid.floor_percents = {4.0};
+  sweep.grid.area_budgets = {0.0};
+  const Response swept = evaluate(sweep, pool);
+  ASSERT_TRUE(swept.ok()) << swept.error;
+  EXPECT_DOUBLE_EQ(swept.speedup, 1.0);
+  const Response cov = evaluate(make_request(2, Kind::kCoverage, "fir"), pool);
+  EXPECT_DOUBLE_EQ(swept.total_coverage, cov.total_coverage);
+}
+
+TEST(ServiceEvaluate, SweepMatchesExtensionAtSameCorner) {
+  pipeline::SessionPool pool;
+  Request sweep = make_request(1, Kind::kSweep, "fir");
+  sweep.grid.levels = {opt::OptLevel::O1};
+  sweep.grid.floor_percents = {4.0};
+  sweep.grid.area_budgets = {40.0};
+  const Response swept = evaluate(sweep, pool);
+  const Response ext = evaluate(make_request(2, Kind::kExtension, "fir"), pool);
+  ASSERT_TRUE(swept.ok());
+  ASSERT_TRUE(ext.ok());
+  EXPECT_DOUBLE_EQ(swept.speedup, ext.speedup);
+  EXPECT_DOUBLE_EQ(swept.total_area, ext.total_area);
+  EXPECT_EQ(swept.selected, ext.selected);
+}
+
+TEST(ServiceEvaluate, InlineSourceBindsAndMismatchIsLatched) {
+  pipeline::SessionPool pool;
+  Request inline_req = make_request(1, Kind::kCompile, "tiny");
+  inline_req.source = "int main() { return 41 + 1; }\n";
+  const Response first = evaluate(inline_req, pool);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_EQ(first.exit_code, 42);
+
+  // Same key, different source: the pool's binding contract surfaces as a
+  // per-request error.
+  Request mismatch = inline_req;
+  mismatch.id = 2;
+  mismatch.source = "int main() { return 0; }\n";
+  const Response second = evaluate(mismatch, pool);
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.error.find("already bound"), std::string::npos);
+
+  // A name request for the bound key hits the pool only via source — a
+  // bare lookup of an unknown name still fails cleanly.
+  const Response unknown =
+      evaluate(make_request(3, Kind::kCompile, "tiny"), pool);
+  EXPECT_FALSE(unknown.ok());
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(ServiceServer, ConcurrentResultsBitIdenticalToSerial) {
+  const std::vector<Request> requests = mixed_requests();
+
+  // Serial reference: evaluate() on a fresh pool, no server involved.
+  std::map<std::uint64_t, std::string> expected;
+  {
+    pipeline::SessionPool pool;
+    for (const auto& r : requests) {
+      expected[r.id] = render_response(evaluate(r, pool));
+    }
+  }
+
+  // Concurrent: several client threads share one server; every client
+  // submits an interleaved slice.  Responses must render byte-identically
+  // to the serial reference (render_response excludes latency).
+  ServerOptions options;
+  options.workers = 8;
+  Server server(options);
+  constexpr int kClients = 4;
+  std::vector<std::map<std::uint64_t, std::string>> got(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<Response>> inflight;
+      std::vector<std::uint64_t> ids;
+      for (std::size_t i = c; i < requests.size(); i += kClients) {
+        ids.push_back(requests[i].id);
+        inflight.push_back(server.submit(requests[i]));
+      }
+      for (std::size_t i = 0; i < inflight.size(); ++i) {
+        got[c][ids[i]] = render_response(inflight[i].get());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  std::map<std::uint64_t, std::string> merged;
+  for (const auto& m : got) merged.insert(m.begin(), m.end());
+  ASSERT_EQ(merged.size(), requests.size());
+  for (const auto& [id, line] : expected) {
+    EXPECT_EQ(merged.at(id), line) << "response " << id << " diverged";
+  }
+}
+
+TEST(ServiceServer, RepeatedRequestsHitSessionCaches) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  const Request request = make_request(1, Kind::kDetection, "fir");
+  const Response first = server.call(request);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(server.call(request).ok());
+  }
+  const auto session = server.pool().get("fir");
+  const auto stats = session->stats();
+  EXPECT_EQ(stats.detect_runs, 1u) << "repeat requests must be cache hits";
+  EXPECT_GE(stats.hits, 8u);
+}
+
+// --- Backpressure -----------------------------------------------------------
+
+TEST(ServiceServer, BoundedQueueBackpressure) {
+  // One worker, capacity 1.  A gate in on_start parks the worker inside
+  // job 1, so job 2 sits in the queue (full) — deterministic, no timing.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> started{0};
+
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.on_start = [&](const Request&) {
+    started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  Server server(options);
+
+  auto f1 = server.submit(make_request(1, Kind::kDetection, "fir"));
+  while (started.load() == 0) std::this_thread::yield();  // Worker inside job 1.
+  auto f2 = server.submit(make_request(2, Kind::kDetection, "fir"));
+
+  // Queue is now full: try_submit must refuse immediately.
+  auto rejected = server.try_submit(make_request(3, Kind::kDetection, "fir"));
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.queue_depth(), 1u);
+
+  // A blocking submit must wait for space, then go through.
+  std::atomic<bool> submitted{false};
+  std::thread blocked([&] {
+    auto f4 = server.submit(make_request(4, Kind::kDetection, "fir"));
+    submitted.store(true);
+    EXPECT_TRUE(f4.get().ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(submitted.load()) << "submit must block while the queue is full";
+
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocked.join();
+  EXPECT_TRUE(submitted.load());
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+
+  const Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+// --- Shutdown ---------------------------------------------------------------
+
+TEST(ServiceServer, ShutdownDrainsAcceptedWork) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  std::vector<std::future<Response>> inflight;
+  constexpr int kJobs = 12;
+  for (int i = 0; i < kJobs; ++i) {
+    inflight.push_back(server.submit(
+        make_request(static_cast<std::uint64_t>(i + 1), Kind::kDetection,
+                     wl::suite()[static_cast<std::size_t>(i) %
+                                 wl::suite().size()]
+                         .name)));
+  }
+  server.shutdown();
+  for (auto& f : inflight) {
+    EXPECT_TRUE(f.get().ok()) << "accepted job must complete before shutdown";
+  }
+  const Stats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(stats.queue_depth, 0u);
+
+  EXPECT_THROW(server.submit(make_request(99, Kind::kCompile, "fir")),
+               std::runtime_error);
+  EXPECT_FALSE(server.try_submit(make_request(99, Kind::kCompile, "fir"))
+                   .has_value());
+  server.shutdown();  // Idempotent.
+}
+
+// --- Error paths ------------------------------------------------------------
+
+TEST(ServiceServer, BadRequestsNeverKillWorkers) {
+  ServerOptions options;
+  options.workers = 1;  // The same worker must survive every failure.
+  Server server(options);
+
+  const Response unknown =
+      server.call(make_request(1, Kind::kDetection, "nosuch"));
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error.find("nosuch"), std::string::npos);
+
+  Request broken = make_request(2, Kind::kCompile, "broken");
+  broken.source = "int main( {";
+  const Response syntax = server.call(broken);
+  ASSERT_FALSE(syntax.ok());
+
+  // The compile failure is latched in the pool: same key, same error,
+  // no recompilation storm.
+  const Response again = server.call(broken);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error, syntax.error);
+
+  const Response good = server.call(make_request(3, Kind::kDetection, "fir"));
+  ASSERT_TRUE(good.ok()) << "worker must survive failed requests";
+
+  const Stats stats = server.stats();
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 3u);
+}
+
+// --- Stats ------------------------------------------------------------------
+
+TEST(ServiceServer, StatsCountPerKindAndLatency) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  EXPECT_EQ(server.stats().completed, 0u);
+
+  ASSERT_TRUE(server.call(make_request(1, Kind::kCompile, "fir")).ok());
+  ASSERT_TRUE(server.call(make_request(2, Kind::kDetection, "fir")).ok());
+  ASSERT_TRUE(server.call(make_request(3, Kind::kDetection, "edge")).ok());
+  ASSERT_TRUE(server.call(make_request(4, Kind::kCoverage, "fir")).ok());
+
+  const Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.completed_by_kind[static_cast<std::size_t>(Kind::kCompile)],
+            1u);
+  EXPECT_EQ(stats.completed_by_kind[static_cast<std::size_t>(Kind::kDetection)],
+            2u);
+  EXPECT_EQ(stats.completed_by_kind[static_cast<std::size_t>(Kind::kCoverage)],
+            1u);
+  EXPECT_GT(stats.uptime_seconds, 0.0);
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+  EXPECT_GE(stats.p99_latency_us, stats.p50_latency_us);
+  EXPECT_GT(stats.max_latency_us, 0.0);
+
+  // The response's own latency measurement is populated too.
+  const Response timed = server.call(make_request(5, Kind::kDetection, "fir"));
+  EXPECT_GT(timed.latency_us, 0.0);
+}
+
+TEST(ServiceServer, SharedPoolIsReused) {
+  pipeline::SessionPool pool;
+  ServerOptions options;
+  options.workers = 1;
+  options.pool = &pool;
+  Server server(options);
+  ASSERT_TRUE(server.call(make_request(1, Kind::kCompile, "fir")).ok());
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(&server.pool(), &pool);
+}
+
+}  // namespace
+}  // namespace asipfb::service
