@@ -14,16 +14,26 @@
 // Control lines: `source <name> <n>` binds the next n raw lines as BenchC
 // under a workload name, `stats` prints server counters, `ping` prints a
 // liveness line, `quit` (or EOF) drains and exits.
+//
+// With --tcp PORT the same protocol is served over sockets instead
+// (service::TcpServer), optionally sharded (--shards N routes each
+// workload to a dedicated shard via consistent hashing); the process then
+// runs until SIGINT/SIGTERM and shuts down gracefully.  The stdio path is
+// unchanged and stays byte-stable for the checked-in transcript diff.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <map>
 #include <string>
 
+#include "service/net.hpp"
 #include "service/protocol.hpp"
+#include "service/router.hpp"
 #include "service/server.hpp"
 #include "support/json.hpp"
 
@@ -35,11 +45,18 @@ struct ServeOptions {
   service::ServerOptions server;
   bool with_latency = false;
   bool help = false;
+  bool tcp = false;
+  int tcp_port = 0;
+  unsigned shards = 1;
+  int idle_timeout_ms = 0;
+  std::string port_file;
 };
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: asipfb_serve [--workers N] [--queue N] [--latency]\n"
+               "                    [--tcp PORT [--shards N] [--port-file F]\n"
+               "                     [--idle-timeout MS]]\n"
                "\n"
                "Serves the compiler-feedback pipeline over a line protocol:\n"
                "one command per stdin line, one JSON response per stdout\n"
@@ -53,10 +70,17 @@ void print_usage(std::FILE* out) {
                "  stats | ping | quit          control lines\n"
                "\n"
                "options:\n"
-               "  --workers N   worker threads        (default: hardware)\n"
-               "  --queue N     queue capacity        (default 256)\n"
+               "  --workers N   worker threads per shard (default: hardware)\n"
+               "  --queue N     queue capacity per shard (default 256)\n"
                "  --latency     include latency/uptime fields in output\n"
                "                (nondeterministic; off for diffable runs)\n"
+               "  --tcp PORT    serve the protocol over TCP on 127.0.0.1:PORT\n"
+               "                (0 picks an ephemeral port) instead of stdio;\n"
+               "                runs until SIGINT/SIGTERM\n"
+               "  --shards N    shard the service N ways behind a consistent-\n"
+               "                hash router (TCP mode only; default 1)\n"
+               "  --port-file F write the bound port to F once listening\n"
+               "  --idle-timeout MS  close idle TCP connections after MS\n"
                "  --help        print this help and exit\n");
 }
 
@@ -78,11 +102,88 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
       options.server.queue_capacity = static_cast<std::size_t>(std::atoi(v));
     } else if (arg == "--latency") {
       options.with_latency = true;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const int port = std::atoi(v);
+      if (port < 0 || port > 65535 || (port == 0 && std::string(v) != "0")) {
+        return false;
+      }
+      options.tcp = true;
+      options.tcp_port = port;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) return false;
+      options.shards = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.port_file = v;
+    } else if (arg == "--idle-timeout") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 1) return false;
+      options.idle_timeout_ms = std::atoi(v);
     } else {
       return false;
     }
   }
+  // Sharding/port plumbing only makes sense for the socket front end.
+  if (!options.tcp &&
+      (options.shards != 1 || !options.port_file.empty() ||
+       options.idle_timeout_ms != 0)) {
+    return false;
+  }
   return true;
+}
+
+/// TCP mode: Router (sharded service) + TcpServer, then park on sigwait
+/// until SIGINT/SIGTERM and shut both down gracefully.  Signals are
+/// blocked before any thread is spawned so every thread inherits the
+/// mask and delivery is confined to sigwait.
+int serve_tcp(const ServeOptions& options) {
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  service::RouterOptions router_options;
+  router_options.shards = options.shards;
+  router_options.server = options.server;
+  service::Router router(router_options);
+
+  service::TcpServer::Options tcp_options;
+  tcp_options.port = static_cast<std::uint16_t>(options.tcp_port);
+  tcp_options.with_latency = options.with_latency;
+  tcp_options.idle_timeout_ms = options.idle_timeout_ms;
+  std::unique_ptr<service::TcpServer> tcp;
+  try {
+    tcp = std::make_unique<service::TcpServer>(router, tcp_options);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "asipfb_serve: %s\n", ex.what());
+    return 1;
+  }
+
+  if (!options.port_file.empty()) {
+    std::ofstream out(options.port_file, std::ios::trunc);
+    out << tcp->port() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "asipfb_serve: cannot write port file '%s'\n",
+                   options.port_file.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "asipfb_serve: listening on 127.0.0.1:%u (%u shard%s)\n",
+               static_cast<unsigned>(tcp->port()), options.shards,
+               options.shards == 1 ? "" : "s");
+
+  int sig = 0;
+  while (sigwait(&sigs, &sig) != 0) {
+  }
+  std::fprintf(stderr, "asipfb_serve: signal %d, shutting down\n", sig);
+  tcp->stop();
+  router.shutdown();
+  return 0;
 }
 
 }  // namespace
@@ -97,6 +198,7 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return 0;
   }
+  if (options.tcp) return serve_tcp(options);
 
   service::Server server(options.server);
   std::map<std::string, std::string> sources;  // `source`-bound programs.

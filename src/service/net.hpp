@@ -1,0 +1,197 @@
+// TCP transport of the evaluation service: the line protocol
+// (protocol.hpp) served over real sockets instead of stdin/stdout, so
+// thousands of concurrent clients can drive a sharded deployment.
+//
+// Two layers:
+//
+//   * ProtocolSession — the transport-agnostic per-connection state
+//     machine.  Bytes in, ordered response lines out: it splits lines,
+//     parses commands, tracks `source` blocks, submits requests through a
+//     Router, and keeps one output slot per command so responses are
+//     written strictly in submission order no matter how the shard
+//     workers interleave (per-connection pipelining).  `stats` acts as a
+//     pipeline barrier — it renders only after every earlier request on
+//     the connection completed, reproducing the stdio front end's
+//     drain-then-print semantics, which is what makes a pipelined TCP
+//     session byte-identical to the checked-in stdio transcript.
+//     Completion callbacks run on shard worker threads and only touch the
+//     session's internal shared state, so a connection that disappears
+//     mid-request leaves the in-flight job to finish harmlessly against
+//     that state (no worker death, no leak).
+//
+//   * TcpServer — accepts connections and drives one ProtocolSession per
+//     connection.  On Linux the default is a single epoll event loop
+//     (scales to thousands of mostly-idle connections); everywhere else —
+//     or on request — a portable thread-per-connection fallback.  Both
+//     paths handle slow and broken peers: nonblocking/bounded writes with
+//     per-connection buffers (a peer that stops reading past
+//     `write_buffer_limit` is dropped, and reading pauses while the
+//     buffer is high), idle timeouts, SIGPIPE-free sends, and
+//     per-connection error isolation (a protocol error poisons one
+//     connection's stream, never the process).
+//
+// docs/SERVICE.md describes the connection lifecycle and overload
+// behavior in prose; tests/service/net_test.cpp pins the contracts over
+// both transports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "service/router.hpp"
+
+namespace asipfb::service {
+
+/// Per-connection protocol state machine; one instance per client.
+/// Driven by exactly one transport thread (feed/pump/take_ready are not
+/// reentrant); completion callbacks arrive concurrently from shard
+/// workers and are internally synchronized.
+class ProtocolSession {
+ public:
+  struct Options {
+    bool with_latency = false;
+    /// Blocking transports (thread-per-connection) submit with shard-queue
+    /// backpressure applied to the connection thread; nonblocking
+    /// transports (epoll) leave this false and get parking instead: a
+    /// refused request is retried on the next completion, and
+    /// input_paused() tells the loop to stop reading meanwhile.
+    bool blocking_submit = false;
+    /// A single protocol line longer than this poisons the connection
+    /// (one rendered error, then wants_close()).
+    std::size_t max_line_bytes = 1 << 20;
+    /// In-flight responses per connection before parsing (and reading)
+    /// pauses — per-connection pipelining depth cap.
+    std::size_t max_pipeline = 1024;
+    /// Invoked from shard worker threads whenever a completion may have
+    /// made output ready; transports use it to wake their event loop.
+    /// Must be set before the first feed() and must not throw.
+    std::function<void()> on_progress;
+  };
+
+  ProtocolSession(Router& router, Options options);
+  /// Safe while requests are still in flight: workers finish against the
+  /// internally shared state, which outlives the session object.
+  ~ProtocolSession();
+
+  ProtocolSession(const ProtocolSession&) = delete;
+  ProtocolSession& operator=(const ProtocolSession&) = delete;
+
+  /// Buffers raw bytes; parsing happens in pump().
+  void feed(std::string_view bytes);
+
+  /// Signals EOF (peer half-closed): remaining complete lines still parse,
+  /// an unterminated `source` block becomes a rendered error.
+  void finish_input();
+
+  /// Parses and submits as much buffered input as currently possible
+  /// (parked request retry, stats barrier, pipelining cap).  Returns true
+  /// if any progress was made — call again after completions.
+  bool pump();
+
+  /// Removes and returns the completed output prefix (response lines in
+  /// submission order); empty when the front of the pipeline is still in
+  /// flight.
+  [[nodiscard]] std::string take_ready();
+
+  /// Blocks until every submitted request has completed (not until output
+  /// is taken).  Blocking-transport helper; pump() afterwards to clear a
+  /// stats barrier or parse further buffered input.
+  void wait_pending();
+
+  /// True once the session is over (quit processed or EOF) and every
+  /// response line has been produced and taken: the transport should
+  /// flush and close.
+  [[nodiscard]] bool wants_close() const;
+
+  /// True while the session cannot absorb more input usefully (parked
+  /// request, stats barrier, or pipelining cap reached): nonblocking
+  /// transports should stop reading the socket until the next completion.
+  [[nodiscard]] bool input_paused() const;
+
+  /// Submitted-but-uncompleted requests (parked one included).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Raw bytes fed but not yet parsed; transports bound their reads with
+  /// this so a flooding client cannot grow the session buffer unboundedly
+  /// while the pipeline is paused.
+  [[nodiscard]] std::size_t buffered_input() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Socket front end: accepts TCP connections and runs one ProtocolSession
+/// per connection against a shared (possibly sharded) Router.
+class TcpServer {
+ public:
+  enum class Mode {
+    kAuto,      ///< epoll on Linux, threaded elsewhere.
+    kEpoll,     ///< Single event-loop thread (Linux only).
+    kThreaded,  ///< Portable thread-per-connection fallback.
+  };
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; see port().
+    Mode mode = Mode::kAuto;
+    bool with_latency = false;
+    /// Close a connection with no read activity and no in-flight work for
+    /// this long; 0 disables.
+    int idle_timeout_ms = 0;
+    /// Accepted-and-open connection cap; excess accepts are closed
+    /// immediately (counted in Counters::refused).
+    std::size_t max_connections = 4096;
+    std::size_t max_line_bytes = 1 << 20;
+    std::size_t max_pipeline = 1024;
+    /// Pending unwritten output per connection before the peer is
+    /// declared broken and dropped (write backpressure bound); reading
+    /// pauses at half this.
+    std::size_t write_buffer_limit = 8u << 20;
+    /// stop(): how long to wait for open connections to drain in-flight
+    /// responses before force-closing them.
+    int drain_grace_ms = 5000;
+  };
+
+  struct Counters {
+    std::uint64_t accepted = 0;
+    std::uint64_t refused = 0;         ///< Over max_connections.
+    std::uint64_t closed = 0;          ///< All closes, any reason.
+    std::uint64_t idle_closed = 0;     ///< Idle-timeout closes.
+    std::uint64_t overflow_closed = 0; ///< Write-backpressure drops.
+    std::uint64_t error_closed = 0;    ///< read/write errors, resets.
+    std::size_t open = 0;
+  };
+
+  /// Binds, listens, and starts serving immediately; throws
+  /// std::system_error when the socket cannot be set up and
+  /// std::invalid_argument for kEpoll off-Linux.
+  TcpServer(Router& router, Options options);
+  ~TcpServer();  ///< stop().
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Which transport actually runs (kAuto resolved).
+  [[nodiscard]] Mode mode() const;
+
+  /// Graceful stop: closes the listener, lets open connections drain
+  /// in-flight responses for up to drain_grace_ms, then force-closes the
+  /// rest and joins the transport threads.  Idempotent.  The Router keeps
+  /// running — shut it down separately.
+  void stop();
+
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace asipfb::service

@@ -64,6 +64,7 @@ opt::OptLevel parse_level(const std::string& text) {
 
 std::vector<std::string> split_commas(const std::string& text) {
   std::vector<std::string> parts;
+  if (text.empty()) return parts;  // An empty list has zero elements, not {""}.
   std::string::size_type start = 0;
   while (start <= text.size()) {
     const auto comma = text.find(',', start);
@@ -168,9 +169,12 @@ Command parse_command(const std::string& line) {
   command.request.workload = tokens[2];
   for (std::size_t i = 3; i < tokens.size(); ++i) {
     const auto eq = tokens[i].find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 >= tokens[i].size()) {
+    if (eq == std::string::npos || eq == 0) {
       fail("malformed option '" + tokens[i] + "' (want key=value)");
     }
+    // An empty value is structurally fine: list keys ("levels=") mean the
+    // empty list, scalar keys reject "" in their own parser with a
+    // key-specific diagnostic.
     apply_option(command.request, tokens[i].substr(0, eq),
                  tokens[i].substr(eq + 1));
   }
@@ -241,6 +245,7 @@ std::string render_stats(const Stats& stats, bool with_latency) {
     json.member("uptime_seconds", stats.uptime_seconds)
         .member("p50_latency_us", stats.p50_latency_us)
         .member("p99_latency_us", stats.p99_latency_us)
+        .member("p999_latency_us", stats.p999_latency_us)
         .member("max_latency_us", stats.max_latency_us);
   }
   json.end_object();

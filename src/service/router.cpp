@@ -1,0 +1,129 @@
+#include "service/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace asipfb::service {
+
+namespace {
+
+/// splitmix64 finalizer: turns (shard, virtual-node) indices into
+/// well-scattered ring points.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t Router::hash_key(std::string_view key) {
+  // FNV-1a, finalized through mix64 so short keys spread over the ring.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+Router::Router(RouterOptions options) {
+  if (options.shards == 0) {
+    throw std::invalid_argument("Router shards must be >= 1");
+  }
+  if (options.server.pool != nullptr) {
+    throw std::invalid_argument(
+        "Router shards own their pools; RouterOptions::server.pool must be "
+        "null");
+  }
+  if (options.virtual_nodes == 0) {
+    throw std::invalid_argument("Router virtual_nodes must be >= 1");
+  }
+  shards_.reserve(options.shards);
+  ring_.reserve(options.shards * options.virtual_nodes);
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    shards_.push_back(std::make_unique<Server>(options.server));
+    for (std::size_t v = 0; v < options.virtual_nodes; ++v) {
+      const std::uint64_t point =
+          mix64((std::uint64_t{s} << 32) | static_cast<std::uint64_t>(v));
+      ring_.push_back({point, s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const RingPoint& a, const RingPoint& b) {
+              return a.point < b.point || (a.point == b.point && a.shard < b.shard);
+            });
+}
+
+Router::~Router() { shutdown(); }
+
+std::size_t Router::shard_for(std::string_view key) const {
+  const std::uint64_t h = hash_key(key);
+  // First ring point at or after the key's hash, wrapping at the top.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, std::uint64_t value) { return p.point < value; });
+  return (it == ring_.end() ? ring_.front() : *it).shard;
+}
+
+std::future<Response> Router::submit(Request request) {
+  Server& shard = *shards_[shard_for(request.workload)];
+  return shard.submit(std::move(request));
+}
+
+std::optional<std::future<Response>> Router::try_submit(Request request) {
+  Server& shard = *shards_[shard_for(request.workload)];
+  return shard.try_submit(std::move(request));
+}
+
+void Router::submit_async(Request request, std::function<void(Response)> done) {
+  Server& shard = *shards_[shard_for(request.workload)];
+  shard.submit_async(std::move(request), std::move(done));
+}
+
+bool Router::try_submit_async(Request request,
+                              std::function<void(Response)> done) {
+  Server& shard = *shards_[shard_for(request.workload)];
+  return shard.try_submit_async(std::move(request), std::move(done));
+}
+
+unsigned Router::workers() const {
+  unsigned total = 0;
+  for (const auto& shard : shards_) total += shard->workers();
+  return total;
+}
+
+Stats Router::stats() const {
+  Stats total;
+  LatencyHistogram merged;
+  for (const auto& shard : shards_) {
+    const Stats s = shard->stats();
+    total.submitted += s.submitted;
+    total.rejected += s.rejected;
+    total.completed += s.completed;
+    total.failed += s.failed;
+    for (std::size_t k = 0; k < kKindCount; ++k) {
+      total.completed_by_kind[k] += s.completed_by_kind[k];
+    }
+    total.queue_depth += s.queue_depth;
+    total.uptime_seconds = std::max(total.uptime_seconds, s.uptime_seconds);
+    merged.merge(shard->latency_histogram());
+  }
+  total.p50_latency_us = merged.quantile_us(0.50);
+  total.p99_latency_us = merged.quantile_us(0.99);
+  total.p999_latency_us = merged.quantile_us(0.999);
+  total.max_latency_us = static_cast<double>(merged.max_ns) / 1000.0;
+  return total;
+}
+
+Stats Router::shard_stats(std::size_t index) const {
+  return shards_[index]->stats();
+}
+
+void Router::shutdown() {
+  for (const auto& shard : shards_) shard->shutdown();
+}
+
+}  // namespace asipfb::service

@@ -7,6 +7,32 @@
 
 namespace asipfb::service {
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts[b] += other.counts[b];
+  total += other.total;
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  if (total == 0) return 0.0;
+  const std::uint64_t target =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts[b];
+    if (seen < target) continue;
+    // Bucket upper edge, clamped to the true maximum: when every sample
+    // lands in one bucket the edge 2^(b+1) can exceed max_ns, and a p99
+    // estimate above the reported max poisons any gate built on it.
+    std::uint64_t estimate = max_ns;
+    if (b + 1 < kBuckets) {
+      estimate = std::min<std::uint64_t>(std::uint64_t{1} << (b + 1), max_ns);
+    }
+    return static_cast<double>(estimate) / 1000.0;
+  }
+  return static_cast<double>(max_ns) / 1000.0;
+}
+
 Server::Server(ServerOptions options) : options_(std::move(options)) {
   if (options_.queue_capacity == 0) {
     throw std::invalid_argument("Server queue_capacity must be >= 1");
@@ -29,23 +55,36 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
 
 Server::~Server() { shutdown(); }
 
+bool Server::enqueue(Job job, bool block) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (block) {
+      not_full_.wait(lock, [this] {
+        return stopping_ || queue_.size() < options_.queue_capacity;
+      });
+      if (stopping_) {
+        throw std::runtime_error("service::Server is shut down");
+      }
+    } else if (stopping_ || queue_.size() >= options_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(std::move(job));
+    // Under the lock: a worker can complete this job the instant the lock
+    // drops, so bumping after release lets a stats() snapshot transiently
+    // read completed > submitted.
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
 std::future<Response> Server::submit(Request request) {
   Job job;
   job.request = std::move(request);
   job.accepted = Clock::now();
   std::future<Response> future = job.promise.get_future();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.queue_capacity;
-    });
-    if (stopping_) {
-      throw std::runtime_error("service::Server is shut down");
-    }
-    queue_.push_back(std::move(job));
-  }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  not_empty_.notify_one();
+  enqueue(std::move(job), /*block=*/true);
   return future;
 }
 
@@ -54,17 +93,25 @@ std::optional<std::future<Response>> Server::try_submit(Request request) {
   job.request = std::move(request);
   job.accepted = Clock::now();
   std::future<Response> future = job.promise.get_future();
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ || queue_.size() >= options_.queue_capacity) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      return std::nullopt;
-    }
-    queue_.push_back(std::move(job));
-  }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
-  not_empty_.notify_one();
+  if (!enqueue(std::move(job), /*block=*/false)) return std::nullopt;
   return future;
+}
+
+void Server::submit_async(Request request, std::function<void(Response)> done) {
+  Job job;
+  job.request = std::move(request);
+  job.done = std::move(done);
+  job.accepted = Clock::now();
+  enqueue(std::move(job), /*block=*/true);
+}
+
+bool Server::try_submit_async(Request request,
+                              std::function<void(Response)> done) {
+  Job job;
+  job.request = std::move(request);
+  job.done = std::move(done);
+  job.accepted = Clock::now();
+  return enqueue(std::move(job), /*block=*/false);
 }
 
 void Server::worker_loop() {
@@ -83,15 +130,29 @@ void Server::worker_loop() {
     if (options_.on_start) options_.on_start(job.request);
 
     Response response = evaluate(job.request, *pool_);  // Never throws.
-    record_latency(job.accepted);
-    response.latency_us =
-        std::chrono::duration<double, std::micro>(Clock::now() - job.accepted)
-            .count();
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    // One completion timestamp feeds both the histogram and the response,
+    // so stats().max_latency_us and Response::latency_us agree exactly —
+    // two Clock::now() calls here let them diverge.
+    const auto elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - job.accepted)
+                             .count();
+    const std::uint64_t ns =
+        elapsed > 0 ? static_cast<std::uint64_t>(elapsed) : 1;
+    record_latency(ns);
+    response.latency_us = static_cast<double>(ns) / 1000.0;
+    // Release pairs with the acquire load in stats(): a snapshot that
+    // observes this completion also observes the job's earlier
+    // submitted_ bump (which happens-before it via mu_), so
+    // submitted >= completed holds in every snapshot.
+    completed_.fetch_add(1, std::memory_order_release);
     completed_by_kind_[static_cast<std::size_t>(job.request.kind)].fetch_add(
         1, std::memory_order_relaxed);
     if (!response.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(std::move(response));
+    if (job.done) {
+      job.done(std::move(response));  // Must not throw (contract).
+    } else {
+      job.promise.set_value(std::move(response));
+    }
   }
 }
 
@@ -113,26 +174,35 @@ void Server::shutdown() {
   for (std::thread& t : threads) t.join();
 }
 
-void Server::record_latency(Clock::time_point accepted) {
-  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      Clock::now() - accepted)
-                      .count();
-  const std::uint64_t v = ns > 0 ? static_cast<std::uint64_t>(ns) : 1;
-  const std::size_t bucket =
-      std::min<std::size_t>(std::bit_width(v) - 1, kLatencyBuckets - 1);
+void Server::record_latency(std::uint64_t ns) {
+  const std::size_t bucket = std::min<std::size_t>(
+      std::bit_width(ns) - 1, LatencyHistogram::kBuckets - 1);
   latency_ns_[bucket].fetch_add(1, std::memory_order_relaxed);
   std::uint64_t seen = max_latency_ns_.load(std::memory_order_relaxed);
-  while (v > seen &&
-         !max_latency_ns_.compare_exchange_weak(seen, v,
+  while (ns > seen &&
+         !max_latency_ns_.compare_exchange_weak(seen, ns,
                                                 std::memory_order_relaxed)) {
   }
 }
 
+LatencyHistogram Server::latency_histogram() const {
+  LatencyHistogram h;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    h.counts[b] = latency_ns_[b].load(std::memory_order_relaxed);
+    h.total += h.counts[b];
+  }
+  h.max_ns = max_latency_ns_.load(std::memory_order_relaxed);
+  return h;
+}
+
 Stats Server::stats() const {
   Stats s;
+  // completed before submitted, acquire/release: every completion the
+  // snapshot sees implies its submission bump is visible too, so the
+  // invariant submitted >= completed cannot be violated transiently.
+  s.completed = completed_.load(std::memory_order_acquire);
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
-  s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   for (std::size_t k = 0; k < kKindCount; ++k) {
     s.completed_by_kind[k] =
@@ -142,31 +212,11 @@ Stats Server::stats() const {
   s.uptime_seconds =
       std::chrono::duration<double>(Clock::now() - started_).count();
 
-  std::array<std::uint64_t, kLatencyBuckets> counts{};
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
-    counts[b] = latency_ns_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  auto quantile = [&](double q) -> double {
-    if (total == 0) return 0.0;
-    const std::uint64_t target =
-        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * total));
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < kLatencyBuckets; ++b) {
-      seen += counts[b];
-      if (seen >= target) {
-        if (b + 1 >= kLatencyBuckets) break;  // Top bucket: fall back to max.
-        return static_cast<double>(std::uint64_t{1} << (b + 1)) / 1000.0;
-      }
-    }
-    return static_cast<double>(max_latency_ns_.load()) / 1000.0;
-  };
-  s.p50_latency_us = quantile(0.50);
-  s.p99_latency_us = quantile(0.99);
-  s.max_latency_us =
-      static_cast<double>(max_latency_ns_.load(std::memory_order_relaxed)) /
-      1000.0;
+  const LatencyHistogram h = latency_histogram();
+  s.p50_latency_us = h.quantile_us(0.50);
+  s.p99_latency_us = h.quantile_us(0.99);
+  s.p999_latency_us = h.quantile_us(0.999);
+  s.max_latency_us = static_cast<double>(h.max_ns) / 1000.0;
   return s;
 }
 

@@ -57,6 +57,26 @@ struct ServerOptions {
   std::function<void(const Request&)> on_start;
 };
 
+/// Accept-to-complete latency distribution: bucket i counts completions in
+/// [2^i, 2^(i+1)) nanoseconds, plus the exact maximum.  A value type so
+/// shard snapshots can be merge()d before estimating quantiles — the
+/// router's aggregated stats and the per-server stats share one estimator.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 64;
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;   ///< Sum of counts.
+  std::uint64_t max_ns = 0;  ///< Exact maximum recorded value.
+
+  void merge(const LatencyHistogram& other);
+
+  /// Quantile estimate in microseconds: the bucket's upper edge, clamped
+  /// to max_ns so no estimate can exceed the true (reported) maximum.
+  /// Still a <= 2x overestimate within a bucket — monitoring-grade, not
+  /// billing.  Guarantees quantile_us(a) <= quantile_us(b) <= max for
+  /// a <= b.
+  [[nodiscard]] double quantile_us(double q) const;
+};
+
 /// Monitoring snapshot; all counters monotonic since construction.
 struct Stats {
   std::uint64_t submitted = 0;  ///< Accepted by submit()/try_submit().
@@ -68,6 +88,7 @@ struct Stats {
   double uptime_seconds = 0.0;  ///< Per-stage throughput = by_kind / uptime.
   double p50_latency_us = 0.0;  ///< Accept-to-complete, histogram estimate.
   double p99_latency_us = 0.0;
+  double p999_latency_us = 0.0;
   double max_latency_us = 0.0;
 };
 
@@ -88,6 +109,22 @@ class Server {
   /// is full or the server is shut down (counted in Stats::rejected).
   std::optional<std::future<Response>> try_submit(Request request);
 
+  /// Completion delivered by callback instead of future: the worker thread
+  /// invokes `done` with the Response after the job's counters are
+  /// recorded.  `done` must not throw and should be cheap (it runs on the
+  /// worker); transports use this to wake their event loop without a
+  /// future-polling thread.  Blocks while the queue is at capacity, throws
+  /// after shutdown() — exactly like submit().
+  void submit_async(Request request, std::function<void(Response)> done);
+
+  /// As submit_async(), but refuses instead of blocking: false when the
+  /// queue is full or the server is shut down (counted in Stats::rejected,
+  /// `done` never invoked).  The nonblocking transport path — an epoll
+  /// loop parks the request and retries on the next completion instead of
+  /// stalling every other connection.
+  [[nodiscard]] bool try_submit_async(Request request,
+                                      std::function<void(Response)> done);
+
   /// submit() + wait: the synchronous convenience for CLI-style callers.
   Response call(Request request) { return submit(std::move(request)).get(); }
 
@@ -97,6 +134,8 @@ class Server {
   void shutdown();
 
   [[nodiscard]] Stats stats() const;
+  /// Raw latency snapshot for cross-shard aggregation (Router::stats()).
+  [[nodiscard]] LatencyHistogram latency_histogram() const;
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] unsigned workers() const {
     return static_cast<unsigned>(threads_.size());
@@ -108,12 +147,18 @@ class Server {
 
   struct Job {
     Request request;
-    std::promise<Response> promise;
+    std::promise<Response> promise;            ///< Used when `done` is empty.
+    std::function<void(Response)> done;        ///< Callback delivery.
     Clock::time_point accepted;
   };
 
   void worker_loop();
-  void record_latency(Clock::time_point accepted);
+  /// Accepts under mu_ (bumping submitted_ while the lock is held, so a
+  /// stats() snapshot can never observe completed > submitted).  Returns
+  /// false to refuse when `block` is false; throws std::runtime_error
+  /// when stopped and `block` is true.
+  bool enqueue(Job job, bool block);
+  void record_latency(std::uint64_t ns);
 
   ServerOptions options_;
   std::unique_ptr<pipeline::SessionPool> owned_pool_;  ///< Null when shared.
@@ -133,11 +178,11 @@ class Server {
   std::atomic<std::uint64_t> failed_{0};
   std::array<std::atomic<std::uint64_t>, kKindCount> completed_by_kind_{};
 
-  /// Latency histogram: bucket i counts completions with accept-to-complete
-  /// time in [2^i, 2^(i+1)) nanoseconds; quantiles interpolate bucket
-  /// upper bounds (a <= 2x overestimate — monitoring-grade, not billing).
-  static constexpr std::size_t kLatencyBuckets = 64;
-  std::array<std::atomic<std::uint64_t>, kLatencyBuckets> latency_ns_{};
+  /// Lock-free accept-to-complete histogram; stats() snapshots it into a
+  /// LatencyHistogram for quantile estimation (and Router merges shard
+  /// snapshots the same way).
+  std::array<std::atomic<std::uint64_t>, LatencyHistogram::kBuckets>
+      latency_ns_{};
   std::atomic<std::uint64_t> max_latency_ns_{0};
 };
 

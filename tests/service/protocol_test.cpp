@@ -51,6 +51,33 @@ TEST(ServiceProtocol, ParsesCoverageExtensionAndSweepKeys) {
   EXPECT_DOUBLE_EQ(sweep.request.grid.area_budgets[2], 80.0);
 }
 
+TEST(ServiceProtocol, EmptyListValueParsesToEmptyGrid) {
+  // Regression: split_commas("") returned {""}, so "levels=" blew up on
+  // parsing "" as a level instead of meaning the empty list.  The empty
+  // grid then fails deterministically at evaluation ("sweep grid is
+  // empty"), not at parse time.
+  const Command sweep = parse_command("1 sweep fir levels= floors= budgets=");
+  ASSERT_EQ(sweep.type, Command::Type::kRequest);
+  EXPECT_TRUE(sweep.request.grid.levels.empty());
+  EXPECT_TRUE(sweep.request.grid.floor_percents.empty());
+  EXPECT_TRUE(sweep.request.grid.area_budgets.empty());
+}
+
+TEST(ServiceProtocol, TrailingCommaListIsDiagnosedPerElement) {
+  // "O0," is the two-element list {"O0", ""}: the empty trailing element
+  // hits the level parser's own diagnostic, never a crash or silent drop.
+  try {
+    (void)parse_command("1 sweep fir levels=O0,");
+    FAIL() << "trailing comma must be rejected";
+  } catch (const std::invalid_argument& ex) {
+    EXPECT_NE(std::string(ex.what()).find("invalid level ''"),
+              std::string::npos)
+        << ex.what();
+  }
+  EXPECT_THROW((void)parse_command("1 sweep fir floors=2,,4"),
+               std::invalid_argument);
+}
+
 TEST(ServiceProtocol, ParsesControlAndCommentLines) {
   EXPECT_EQ(parse_command("stats").type, Command::Type::kStats);
   EXPECT_EQ(parse_command("ping").type, Command::Type::kPing);
@@ -151,6 +178,8 @@ TEST(ServiceProtocol, RenderedStatsExcludeTimingByDefault) {
             "\"compile\": 2, \"optimize\": 0, \"detect\": 3, "
             "\"coverage\": 0, \"extension\": 0, \"sweep\": 0}");
   EXPECT_NE(render_stats(s, /*with_latency=*/true).find("p50_latency_us"),
+            std::string::npos);
+  EXPECT_NE(render_stats(s, /*with_latency=*/true).find("p999_latency_us"),
             std::string::npos);
 }
 

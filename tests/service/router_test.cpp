@@ -1,0 +1,180 @@
+// Contracts of the consistent-hash router (service::Router): stable,
+// instance-independent placement; reasonable balance over a realistic
+// corpus; per-workload shard affinity (the property that keeps each
+// shard's SessionPool hot); and shard-aware stats aggregation (counters
+// summed, latency histograms merged before quantile estimation).  Runs
+// under the CI TSan leg.
+#include "service/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb::service {
+namespace {
+
+Request make_request(std::uint64_t id, Kind kind, std::string workload) {
+  Request r;
+  r.id = id;
+  r.kind = kind;
+  r.workload = std::move(workload);
+  r.level = opt::OptLevel::O1;
+  return r;
+}
+
+RouterOptions small_router(unsigned shards, unsigned workers_per_shard = 1) {
+  RouterOptions options;
+  options.shards = shards;
+  options.server.workers = workers_per_shard;
+  return options;
+}
+
+TEST(ServiceRouter, PlacementIsAPureFunctionOfKeyAndShardCount) {
+  const Router a(small_router(4));
+  const Router b(small_router(4));
+  for (const auto& w : wl::suite()) {
+    EXPECT_EQ(a.shard_for(w.name), b.shard_for(w.name))
+        << "placement of '" << w.name << "' differs between instances";
+    EXPECT_EQ(a.shard_for(w.name), a.shard_for(w.name));
+    EXPECT_LT(a.shard_for(w.name), a.shard_count());
+  }
+  EXPECT_EQ(Router::hash_key("fir"), Router::hash_key("fir"));
+  EXPECT_NE(Router::hash_key("fir"), Router::hash_key("fir2"));
+}
+
+TEST(ServiceRouter, CorpusKeysSpreadOverShards) {
+  const Router router(small_router(4));
+  std::map<std::size_t, int> per_shard;
+  int keys = 0;
+  for (const auto& w : wl::default_corpus()) {
+    per_shard[router.shard_for(w.name)]++;
+    ++keys;
+  }
+  ASSERT_GE(keys, 16) << "corpus too small for a balance check";
+  // Every shard gets some keys, and no shard hoards them: with 64 virtual
+  // nodes per shard the worst shard stays well under the whole corpus.
+  EXPECT_EQ(per_shard.size(), 4u) << "some shard received no corpus keys";
+  for (const auto& [shard, count] : per_shard) {
+    EXPECT_LT(count, keys) << "shard " << shard << " owns every key";
+  }
+}
+
+TEST(ServiceRouter, WorkloadStaysOnOneShard) {
+  Router router(small_router(4));
+  const std::size_t home = router.shard_for("fir");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        router.call(make_request(static_cast<std::uint64_t>(i + 1),
+                                 Kind::kDetection, "fir"))
+            .ok());
+  }
+  // All traffic landed on the home shard: its counters moved, the other
+  // shards' did not, and its pool holds the one session.
+  for (std::size_t s = 0; s < router.shard_count(); ++s) {
+    const Stats stats = router.shard_stats(s);
+    if (s == home) {
+      EXPECT_EQ(stats.completed, 8u);
+      EXPECT_EQ(router.shard(s).pool().size(), 1u);
+    } else {
+      EXPECT_EQ(stats.completed, 0u);
+      EXPECT_EQ(router.shard(s).pool().size(), 0u);
+    }
+  }
+  // Repeat requests were cache hits inside the home shard's session.
+  const auto session = router.shard(home).pool().get("fir");
+  EXPECT_EQ(session->stats().detect_runs, 1u);
+}
+
+TEST(ServiceRouter, SubmissionSurfaceMatchesServer) {
+  Router router(small_router(2, 2));
+  auto f = router.submit(make_request(1, Kind::kDetection, "fir"));
+  ASSERT_TRUE(f.get().ok());
+
+  auto maybe = router.try_submit(make_request(2, Kind::kDetection, "edge"));
+  ASSERT_TRUE(maybe.has_value());
+  ASSERT_TRUE(maybe->get().ok());
+
+  std::promise<Response> delivered;
+  router.submit_async(make_request(3, Kind::kCoverage, "fir"),
+                      [&](Response r) { delivered.set_value(std::move(r)); });
+  ASSERT_TRUE(delivered.get_future().get().ok());
+
+  std::promise<Response> try_delivered;
+  ASSERT_TRUE(router.try_submit_async(
+      make_request(4, Kind::kDetection, "dft"),
+      [&](Response r) { try_delivered.set_value(std::move(r)); }));
+  ASSERT_TRUE(try_delivered.get_future().get().ok());
+}
+
+TEST(ServiceRouter, StatsAggregateAcrossShards) {
+  Router router(small_router(4));
+  // Spread distinct workloads so several shards do work.
+  std::uint64_t id = 0;
+  std::uint64_t sent = 0;
+  for (const auto& w : wl::suite()) {
+    ASSERT_TRUE(router.call(make_request(++id, Kind::kDetection, w.name)).ok());
+    ++sent;
+  }
+  ASSERT_FALSE(router.call(make_request(++id, Kind::kDetection, "nosuch")).ok());
+  ++sent;
+
+  const Stats total = router.stats();
+  EXPECT_EQ(total.submitted, sent);
+  EXPECT_EQ(total.completed, sent);
+  EXPECT_EQ(total.failed, 1u);
+  EXPECT_EQ(total.completed_by_kind[static_cast<std::size_t>(Kind::kDetection)],
+            sent);
+
+  // The aggregate equals the sum of the per-shard snapshots, and the
+  // merged-histogram quantiles are ordered and bounded by the true max.
+  std::uint64_t sum_completed = 0;
+  double max_latency = 0.0;
+  for (std::size_t s = 0; s < router.shard_count(); ++s) {
+    const Stats shard = router.shard_stats(s);
+    sum_completed += shard.completed;
+    max_latency = std::max(max_latency, shard.max_latency_us);
+  }
+  EXPECT_EQ(total.completed, sum_completed);
+  EXPECT_DOUBLE_EQ(total.max_latency_us, max_latency);
+  EXPECT_GT(total.p50_latency_us, 0.0);
+  EXPECT_LE(total.p50_latency_us, total.p99_latency_us);
+  EXPECT_LE(total.p99_latency_us, total.p999_latency_us);
+  EXPECT_LE(total.p999_latency_us, total.max_latency_us);
+
+  // workers() sums shards so a 4x1 deployment reports 4 (the ping line).
+  EXPECT_EQ(router.workers(), 4u);
+}
+
+TEST(ServiceRouter, InvalidOptionsAreRejected) {
+  RouterOptions zero;
+  zero.shards = 0;
+  EXPECT_THROW(Router{zero}, std::invalid_argument);
+
+  pipeline::SessionPool pool;
+  RouterOptions shared = small_router(2);
+  shared.server.pool = &pool;
+  EXPECT_THROW(Router{shared}, std::invalid_argument);
+
+  RouterOptions no_nodes = small_router(2);
+  no_nodes.virtual_nodes = 0;
+  EXPECT_THROW(Router{no_nodes}, std::invalid_argument);
+}
+
+TEST(ServiceRouter, ShutdownStopsEveryShard) {
+  Router router(small_router(2));
+  ASSERT_TRUE(router.call(make_request(1, Kind::kDetection, "fir")).ok());
+  router.shutdown();
+  EXPECT_THROW((void)router.submit(make_request(2, Kind::kDetection, "fir")),
+               std::runtime_error);
+  router.shutdown();  // Idempotent.
+}
+
+}  // namespace
+}  // namespace asipfb::service

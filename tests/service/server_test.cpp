@@ -379,6 +379,166 @@ TEST(ServiceServer, StatsCountPerKindAndLatency) {
   EXPECT_GT(timed.latency_us, 0.0);
 }
 
+TEST(ServiceServer, AsyncSubmissionDeliversCallback) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  std::promise<Response> delivered;
+  server.submit_async(make_request(1, Kind::kDetection, "fir"),
+                      [&](Response r) { delivered.set_value(std::move(r)); });
+  const Response response = delivered.get_future().get();
+  ASSERT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.id, 1u);
+  EXPECT_GT(response.latency_us, 0.0);
+
+  // The callback-based result must render identically to the future-based
+  // one (same evaluation, same pool).
+  EXPECT_EQ(render_response(response),
+            render_response(server.call(make_request(1, Kind::kDetection,
+                                                     "fir"))));
+}
+
+TEST(ServiceServer, TryAsyncRefusesWhenFull) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> started{0};
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.on_start = [&](const Request&) {
+    started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  Server server(options);
+
+  auto f1 = server.submit(make_request(1, Kind::kDetection, "fir"));
+  while (started.load() == 0) std::this_thread::yield();
+  std::promise<Response> second;
+  ASSERT_TRUE(server.try_submit_async(
+      make_request(2, Kind::kDetection, "fir"),
+      [&](Response r) { second.set_value(std::move(r)); }));
+  EXPECT_FALSE(server.try_submit_async(make_request(3, Kind::kDetection, "fir"),
+                                       [](Response) { FAIL(); }))
+      << "full queue must refuse without invoking the callback";
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(second.get_future().get().ok());
+}
+
+TEST(ServiceServer, SubmittedNeverBelowCompletedUnderStorm) {
+  // Regression: submitted_ used to be bumped outside the queue lock after
+  // the push, so a stats() racing with submit/complete could observe a
+  // snapshot with completed > submitted.  Half the threads storm cheap
+  // memoized submits, half storm stats(); every snapshot must satisfy the
+  // counter invariant.
+  ServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 1024;
+  Server server(options);
+  const Request request = make_request(1, Kind::kDetection, "fir");
+  ASSERT_TRUE(server.call(request).ok());  // Warm: storm hits the cache.
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> violated{false};
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    if (t % 2 == 0) {
+      threads.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          auto f = server.try_submit(request);
+          if (f.has_value()) (void)f->get();
+        }
+      });
+    } else {
+      threads.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Stats s = server.stats();
+          if (s.completed > s.submitted) violated.store(true);
+        }
+      });
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load())
+      << "stats() snapshot observed completed > submitted";
+  const Stats final_stats = server.stats();
+  EXPECT_GE(final_stats.submitted, final_stats.completed);
+}
+
+TEST(ServiceServer, ResponseLatencyMatchesHistogramSample) {
+  // Regression: the worker used to call Clock::now() twice — once for the
+  // histogram sample and again for response.latency_us — so the response
+  // and the stats disagreed about the same request.  With exactly one
+  // request on a fresh server, both must now derive from the one
+  // completion timestamp: max_latency_us IS this request's latency.
+  ServerOptions options;
+  options.workers = 1;
+  Server server(options);
+  const Response response = server.call(make_request(1, Kind::kDetection, "fir"));
+  ASSERT_TRUE(response.ok());
+  const Stats stats = server.stats();
+  EXPECT_DOUBLE_EQ(response.latency_us, stats.max_latency_us);
+}
+
+TEST(ServiceLatencyHistogram, QuantileNeverExceedsMax) {
+  // Regression: the quantile estimate used a log2 bucket's upper edge
+  // without clamping, so with every sample in one bucket (e.g. 1100ns,
+  // bucket [1024, 2048)) p99 reported 2.048us while max was 1.1us.
+  LatencyHistogram h;
+  h.counts[10] = 5;  // 1100ns lands in bucket 10: [2^10, 2^11).
+  h.total = 5;
+  h.max_ns = 1100;
+  EXPECT_LE(h.quantile_us(0.50), h.quantile_us(0.99));
+  EXPECT_LE(h.quantile_us(0.99), static_cast<double>(h.max_ns) / 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile_us(0.99), 1.1);
+}
+
+TEST(ServiceLatencyHistogram, ServerQuantilesAreOrdered) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(
+        server.call(make_request(static_cast<std::uint64_t>(i + 1),
+                                 Kind::kDetection, i % 2 == 0 ? "fir" : "edge"))
+            .ok());
+  }
+  const Stats stats = server.stats();
+  EXPECT_GT(stats.p50_latency_us, 0.0);
+  EXPECT_LE(stats.p50_latency_us, stats.p99_latency_us);
+  EXPECT_LE(stats.p99_latency_us, stats.p999_latency_us);
+  EXPECT_LE(stats.p999_latency_us, stats.max_latency_us);
+}
+
+TEST(ServiceLatencyHistogram, MergeAccumulatesAcrossInstances) {
+  LatencyHistogram a;
+  a.counts[4] = 3;
+  a.total = 3;
+  a.max_ns = 30;
+  LatencyHistogram b;
+  b.counts[20] = 1;
+  b.total = 1;
+  b.max_ns = 1 << 20;
+  a.merge(b);
+  EXPECT_EQ(a.total, 4u);
+  EXPECT_EQ(a.counts[4], 3u);
+  EXPECT_EQ(a.counts[20], 1u);
+  EXPECT_EQ(a.max_ns, static_cast<std::uint64_t>(1 << 20));
+  EXPECT_LE(a.quantile_us(0.999), static_cast<double>(a.max_ns) / 1000.0);
+}
+
 TEST(ServiceServer, SharedPoolIsReused) {
   pipeline::SessionPool pool;
   ServerOptions options;

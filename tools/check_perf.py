@@ -10,12 +10,18 @@ JSON to the minimum expected value:
 
     {"metrics": {"suite_ops_per_sec": 2.0e8, "warm.0.requests_per_sec": 1e4}}
 
+and may also map paths to maximum allowed values ("ceilings" — latency
+quantiles and other lower-is-better metrics):
+
+    {"metrics": {...}, "ceilings": {"open_loop_p99_us": 1.5e5}}
+
 Path segments index objects by key and arrays by integer.  A measured
-metric below tolerance * baseline fails the gate; the tolerance is
-deliberately generous (default 0.5: fail below 50% of baseline) — this
-catches collapses, not jitter.  Baselines are conservative floors for the
-slowest expected CI runner, not records.  Missing metrics and unreadable
-files fail too, so a renamed key cannot silently disable the gate.
+metric below tolerance * baseline fails the gate, as does one above
+ceiling / tolerance; the tolerance is deliberately generous (default 0.5:
+fail below 50% of a floor or above 2x a ceiling) — this catches
+collapses, not jitter.  Baselines are conservative bounds for the slowest
+expected CI runner, not records.  Missing metrics and unreadable files
+fail too, so a renamed key cannot silently disable the gate.
 
 Stdlib only.  Exits nonzero listing every failure.
 """
@@ -50,6 +56,7 @@ def check_artifact(measured_path: Path, baseline_path: Path,
     try:
         baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
         metrics = baseline["metrics"]
+        ceilings = baseline.get("ceilings", {})
     except (OSError, ValueError, KeyError) as ex:
         return [f"{baseline_path}: unreadable baseline ({ex})"]
 
@@ -67,6 +74,21 @@ def check_artifact(measured_path: Path, baseline_path: Path,
             errors.append(
                 f"{measured_path}: {path} = {value:.4g} is below "
                 f"{tolerance:.0%} of baseline {float(floor):.4g}")
+
+    for path, ceiling in ceilings.items():
+        try:
+            value = lookup(measured, path)
+        except (KeyError, IndexError, ValueError):
+            errors.append(f"{measured_path}: metric '{path}' missing")
+            continue
+        allowed = float(ceiling) / tolerance
+        verdict = "ok" if value <= allowed else "FAIL"
+        print(f"  {verdict}  {path}: measured {value:.4g}, "
+              f"baseline {float(ceiling):.4g}, ceiling {allowed:.4g}")
+        if value > allowed:
+            errors.append(
+                f"{measured_path}: {path} = {value:.4g} is above "
+                f"{1 / tolerance:.3g}x baseline ceiling {float(ceiling):.4g}")
     return errors
 
 
