@@ -285,8 +285,11 @@ bool ProtocolSession::pump() {
   bool progress = false;
   for (;;) {
     if (s.parked) {
-      if (!State::submit_request(state_, std::move(s.parked->request),
-                                 s.parked->slot)) {
+      // Retry with a copy: try_submit_async consumes its argument even when
+      // the shard queue refuses, so handing over the parked original would
+      // leave a moved-from (empty) request for the next attempt.
+      Request attempt = s.parked->request;
+      if (!State::submit_request(state_, std::move(attempt), s.parked->slot)) {
         break;  // Shard still full; retry on the next completion.
       }
       s.parked.reset();
@@ -596,14 +599,13 @@ void TcpServer::Impl::stop() {
     epoll_fd = -1;
 #endif
   } else {
-    // Unblock accept() by closing the listener, then EOF every open
+    // Unblock accept() by shutting the listener down, then EOF every open
     // connection (SHUT_RD): each thread drains its in-flight responses,
     // flushes, and exits.  Force-close whatever is left after the grace.
-    if (listen_fd >= 0) {
-      ::shutdown(listen_fd, SHUT_RDWR);
-      ::close(listen_fd);
-      listen_fd = -1;
-    }
+    // The listener fd is closed (and the member nulled) only after the
+    // accept thread is joined: writing listen_fd here would race the
+    // accept loop's unsynchronized read of it.
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
     {
       const std::lock_guard<std::mutex> lock(conns_mu);
       for (auto& [fd, eofed] : open_fds) {
@@ -612,6 +614,10 @@ void TcpServer::Impl::stop() {
       }
     }
     if (accept_thread.joinable()) accept_thread.join();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
     {
       std::unique_lock<std::mutex> lock(conns_mu);
       const bool drained = conns_cv.wait_for(
@@ -1011,8 +1017,12 @@ void TcpServer::Impl::run_connection(int fd) {
     const std::lock_guard<std::mutex> lock(conns_mu);
     open_fds.erase(fd);
     --active_conn_threads;
+    // Notify while still holding conns_mu: stop()'s waiter cannot re-check
+    // its predicate (and let ~TcpServer destroy this condition variable)
+    // until this thread has released the lock — after which it touches no
+    // Impl member.  Notifying after the unlock races destruction.
+    conns_cv.notify_all();
   }
-  conns_cv.notify_all();
 }
 
 }  // namespace asipfb::service

@@ -99,7 +99,12 @@ Stats Router::stats() const {
   Stats total;
   LatencyHistogram merged;
   for (const auto& shard : shards_) {
-    const Stats s = shard->stats();
+    // One snapshot() per shard, not stats() + latency_histogram(): the
+    // counters and the histogram merged below come from the same pass, so
+    // the aggregate's quantiles/max cannot reflect completions the summed
+    // completed counter has not seen.
+    const Server::Snapshot snap = shard->snapshot();
+    const Stats& s = snap.stats;
     total.submitted += s.submitted;
     total.rejected += s.rejected;
     total.completed += s.completed;
@@ -109,7 +114,7 @@ Stats Router::stats() const {
     }
     total.queue_depth += s.queue_depth;
     total.uptime_seconds = std::max(total.uptime_seconds, s.uptime_seconds);
-    merged.merge(shard->latency_histogram());
+    merged.merge(snap.histogram);
   }
   total.p50_latency_us = merged.quantile_us(0.50);
   total.p99_latency_us = merged.quantile_us(0.99);

@@ -195,8 +195,9 @@ LatencyHistogram Server::latency_histogram() const {
   return h;
 }
 
-Stats Server::stats() const {
-  Stats s;
+Server::Snapshot Server::snapshot() const {
+  Snapshot snap;
+  Stats& s = snap.stats;
   // completed before submitted, acquire/release: every completion the
   // snapshot sees implies its submission bump is visible too, so the
   // invariant submitted >= completed cannot be violated transiently.
@@ -212,13 +213,17 @@ Stats Server::stats() const {
   s.uptime_seconds =
       std::chrono::duration<double>(Clock::now() - started_).count();
 
-  const LatencyHistogram h = latency_histogram();
-  s.p50_latency_us = h.quantile_us(0.50);
-  s.p99_latency_us = h.quantile_us(0.99);
-  s.p999_latency_us = h.quantile_us(0.999);
-  s.max_latency_us = static_cast<double>(h.max_ns) / 1000.0;
-  return s;
+  // Histogram after the completed counter: record_latency() precedes the
+  // completed_ bump, so histogram.total >= stats.completed always holds.
+  snap.histogram = latency_histogram();
+  s.p50_latency_us = snap.histogram.quantile_us(0.50);
+  s.p99_latency_us = snap.histogram.quantile_us(0.99);
+  s.p999_latency_us = snap.histogram.quantile_us(0.999);
+  s.max_latency_us = static_cast<double>(snap.histogram.max_ns) / 1000.0;
+  return snap;
 }
+
+Stats Server::stats() const { return snapshot().stats; }
 
 std::size_t Server::queue_depth() const {
   const std::lock_guard<std::mutex> lock(mu_);

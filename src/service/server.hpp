@@ -133,8 +133,21 @@ class Server {
   /// runtime_error / nullopt refusal).
   void shutdown();
 
+  /// Counters plus the latency histogram they were derived from, read in
+  /// one pass.  Aggregators (Router::stats()) use this so the merged
+  /// histogram and the summed counters come from the same instant per
+  /// shard; the histogram is read after the completed counter, so
+  /// histogram.total >= stats.completed in every snapshot (each
+  /// record_latency() happens-before its completed_ bump).
+  struct Snapshot {
+    Stats stats;
+    LatencyHistogram histogram;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
   [[nodiscard]] Stats stats() const;
-  /// Raw latency snapshot for cross-shard aggregation (Router::stats()).
+  /// Raw latency snapshot for quantile unit tests; aggregation should
+  /// prefer snapshot() for counter/histogram consistency.
   [[nodiscard]] LatencyHistogram latency_histogram() const;
   [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] unsigned workers() const {

@@ -351,6 +351,26 @@ TEST(ServiceNet, RefusesBeyondMaxConnections) {
   }
 }
 
+TEST(ServiceNet, ThreadedStopRacesDetachedConnectionTeardown) {
+  // Regression: connection threads are detached; each must finish touching
+  // Impl (the conns_cv notify in particular) before stop() can observe
+  // active_conn_threads == 0 and let ~TcpServer free Impl.  Churning
+  // short-lived connections against immediate destruction makes the TSan
+  // leg catch a notify-after-unlock use-after-free.
+  for (int i = 0; i < 25; ++i) {
+    Router router(four_shards());
+    TcpServer::Options options;
+    options.mode = TcpServer::Mode::kThreaded;
+    TcpServer tcp(router, options);
+    const int fd = connect_to(tcp.port());
+    send_all(fd, "quit\n");
+    (void)read_until_close(fd);
+    ::close(fd);
+    // Destructor runs stop() while the connection thread may still be in
+    // its teardown tail.
+  }
+}
+
 TEST(ServiceNet, EpollModeRequiresLinux) {
 #if !defined(__linux__)
   Router router(four_shards());
@@ -393,6 +413,86 @@ TEST(ServiceNet, ProtocolSessionStatsBarrierWaitsForPipeline) {
   EXPECT_LT(p2, ps);
   EXPECT_NE(out.find("\"submitted\": 2, \"completed\": 2"), std::string::npos)
       << out;
+}
+
+TEST(ServiceNet, ParkedRequestSurvivesRepeatedRefusal) {
+  // Regression: the nonblocking path parks a refused request and retries
+  // on every pump().  A retry that moves the parked request into the
+  // submission and gets refused again (sustained backpressure) must not
+  // leave a moved-from request behind — the eventual successful submit has
+  // to carry the original workload, not an empty husk.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> started{0};
+  RouterOptions router_options;
+  router_options.shards = 1;
+  router_options.server.workers = 1;
+  router_options.server.queue_capacity = 1;
+  router_options.server.on_start = [&](const Request&) {
+    started.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  Router router(router_options);
+
+  ProtocolSession::Options options;
+  options.blocking_submit = false;
+  ProtocolSession session(router, options);
+  // Gate the single worker inside request 1 so the rest of the setup is
+  // deterministic: request 2 then fills the queue (capacity 1) and request
+  // 3 is refused and parked.
+  session.feed("1 detect fir level=O1\n");
+  while (session.pump()) {
+  }
+  while (started.load() == 0) std::this_thread::yield();
+  session.feed(
+      "2 detect fir level=O1\n"
+      "3 detect fir level=O1\n"
+      "quit\n");
+  session.finish_input();
+  while (session.pump()) {
+  }
+  EXPECT_EQ(session.pending(), 4u);  // 3 pending slots + the parked request.
+
+  // The shard is still full: each pump() re-attempts the parked request
+  // and is refused again.  Pre-fix, the first refusal already corrupted it.
+  for (int i = 0; i < 3; ++i) session.pump();
+
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  std::string out;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!session.wants_close()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "session never drained; output so far: " << out;
+    session.pump();
+    out += session.take_ready();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  out += session.take_ready();
+
+  // All three requests completed successfully, in submission order — the
+  // parked request kept its workload across the refused retries.
+  const auto p1 = out.find("\"id\": 1");
+  const auto p2 = out.find("\"id\": 2");
+  const auto p3 = out.find("\"id\": 3");
+  ASSERT_NE(p1, std::string::npos) << out;
+  ASSERT_NE(p2, std::string::npos) << out;
+  ASSERT_NE(p3, std::string::npos) << out;
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+  std::size_t ok_count = 0;
+  for (std::size_t pos = out.find("\"ok\": true"); pos != std::string::npos;
+       pos = out.find("\"ok\": true", pos + 1)) {
+    ++ok_count;
+  }
+  EXPECT_EQ(ok_count, 3u) << out;
 }
 
 TEST(ServiceNet, ProtocolSessionOversizedLinePoisonsConnection) {
