@@ -7,6 +7,14 @@
 // decode-once/run-many pattern prepare_multi() and the batch runner rely
 // on — so the measurement isolates the execution engine itself.
 //
+// Every workload is measured on both tiers in the same process — fused
+// (superinstructions, the default engine) and unfused (the oracle) — and
+// the suite-level `fusion_ab_ratio` reports fused/unfused throughput.
+// Being an A/B ratio from one process on one host, it is immune to runner
+// speed variance, which is why check_perf.py gates it at face value.
+// Steps are always counted in original-instruction units, so ops/s stays
+// comparable across PRs and tiers.
+//
 // Prints the JSON to stdout and writes it to BENCH_sim_throughput.json in
 // the current directory (override the path with the positional argument).
 #include <chrono>
@@ -37,10 +45,11 @@ struct Measurement {
 /// Repeats reset+bind+run until both a minimum rep count and a minimum
 /// wall-time are reached, so short workloads still measure meaningfully.
 Measurement measure(asipfb::sim::Machine& machine,
-                    const asipfb::wl::Workload& w, bool profile) {
+                    const asipfb::wl::Workload& w, bool profile, bool fuse) {
   using namespace asipfb;
   sim::SimOptions options;
   options.profile = profile;
+  options.fuse = fuse;
   auto run_once = [&] {
     machine.reset_memory();
     for (const auto& [g, v] : w.input.float_inputs) machine.write_global(g, v);
@@ -78,26 +87,41 @@ int main(int argc, char** argv) {
       .member("unit", "dynamic_ops_per_sec")
       .key("workloads")
       .begin_array();
-  Measurement suite_plain, suite_profiled;
+  Measurement suite_fused, suite_unfused, suite_profiled;
   for (const auto& w : wl::suite()) {
     ir::Module module = fe::compile_benchc(w.source, w.name);
     opt::canonicalize(module);
     sim::Machine machine(module);
-    const Measurement plain = measure(machine, w, /*profile=*/false);
-    const Measurement profiled = measure(machine, w, /*profile=*/true);
-    suite_plain.total_steps += plain.total_steps;
-    suite_plain.seconds += plain.seconds;
+    // Interleaved A/B in one process: both tiers see the same machine,
+    // memory image, and host state.
+    const Measurement fused = measure(machine, w, /*profile=*/false, /*fuse=*/true);
+    const Measurement unfused = measure(machine, w, /*profile=*/false, /*fuse=*/false);
+    const Measurement profiled = measure(machine, w, /*profile=*/true, /*fuse=*/true);
+    suite_fused.total_steps += fused.total_steps;
+    suite_fused.seconds += fused.seconds;
+    suite_unfused.total_steps += unfused.total_steps;
+    suite_unfused.seconds += unfused.seconds;
     suite_profiled.total_steps += profiled.total_steps;
     suite_profiled.seconds += profiled.seconds;
     json.inline_object()
         .member("name", w.name)
-        .member("ops_per_sec", plain.ops_per_sec())
+        .member("ops_per_sec", fused.ops_per_sec())
+        .member("unfused_ops_per_sec", unfused.ops_per_sec())
         .member("profiled_ops_per_sec", profiled.ops_per_sec())
         .end_object();
   }
+  const double ab_ratio = suite_unfused.ops_per_sec() > 0.0
+                              ? suite_fused.ops_per_sec() / suite_unfused.ops_per_sec()
+                              : 0.0;
   json.end_array()
-      .member("suite_ops_per_sec", suite_plain.ops_per_sec())
+      // suite_ops_per_sec stays the default engine's number (now fused)
+      // for cross-PR continuity; the explicit fused/unfused pair feeds the
+      // A/B ratio.
+      .member("suite_ops_per_sec", suite_fused.ops_per_sec())
       .member("suite_profiled_ops_per_sec", suite_profiled.ops_per_sec())
+      .member("fused_ops_per_sec", suite_fused.ops_per_sec())
+      .member("unfused_ops_per_sec", suite_unfused.ops_per_sec())
+      .member("fusion_ab_ratio", ab_ratio)
       .end_object();
 
   std::fputs(json.str().c_str(), stdout);

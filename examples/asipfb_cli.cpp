@@ -38,6 +38,7 @@ struct CliOptions {
   bool run_ilp = false;
   double asip_area = -1.0;
   bool dump_ir = false;
+  bool fuse = sim::fuse_default();
   bool help = false;
   int corpus_count = 0;  ///< > 0 selects corpus mode (no input file needed).
   std::uint64_t corpus_seed = wl::CorpusSpec{}.seed;
@@ -73,6 +74,9 @@ void print_usage(std::FILE* out) {
                "                       budget (adder-equivalent units)\n"
                "  --ilp                print ops/cycle at issue widths 1/2/4/8\n"
                "  --dump-ir            print the optimized 3-address code\n"
+               "  --no-fuse            simulate on the unfused interpreter tier\n"
+               "                       (bit-identical to the default fused tier,\n"
+               "                       just slower; also: ASIPFB_NO_FUSE env var)\n"
                "\n"
                "corpus options:\n"
                "  --seed S             corpus master seed               (default %llu)\n",
@@ -119,6 +123,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.asip_area = std::atof(v);
     } else if (arg == "--dump-ir") {
       options.dump_ir = true;
+    } else if (arg == "--no-fuse") {
+      options.fuse = false;
     } else if (arg == "--corpus") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -151,7 +157,7 @@ int run_file(const CliOptions& options) {
   buffer << in.rdbuf();
 
   pipeline::WorkloadInput input;
-  const pipeline::Session session(buffer.str(), options.file, input);
+  const pipeline::Session session(buffer.str(), options.file, input, options.fuse);
   std::printf("%s: %llu dynamic operations, main returned %d\n\n",
               options.file.c_str(),
               static_cast<unsigned long long>(session.total_cycles()),
@@ -213,9 +219,10 @@ int run_corpus(const CliOptions& options) {
     FamilyRow& row = rows[std::string(wl::family_of(w.name))];
     ++row.scenarios;
     try {
-      const pipeline::Session session(w.source, w.name, w.input);
+      const pipeline::Session session(w.source, w.name, w.input, options.fuse);
       auto module = session.prepared().module;  // Private copy for re-execution.
-      const auto run = pipeline::execute(module, w.input, w.outputs);
+      const auto run = pipeline::execute(module, w.input, w.outputs,
+                                         /*profile=*/false, options.fuse);
       if (wl::oracle_matches(w, run.exit_code, run.outputs)) {
         ++row.oracle_pass;
       } else {

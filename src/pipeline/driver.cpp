@@ -9,7 +9,7 @@ namespace asipfb::pipeline {
 
 ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
                         const std::vector<std::string>& output_globals,
-                        bool profile) {
+                        bool profile, bool fuse) {
   sim::Machine machine(module);
   for (const auto& [name, values] : input.float_inputs) {
     machine.write_global(name, values);
@@ -19,6 +19,7 @@ ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
   }
   sim::SimOptions options;
   options.profile = profile;
+  options.fuse = fuse;
   if (profile) sim::clear_profile(module);
   const sim::SimResult run = machine.run(options);
 
@@ -34,12 +35,13 @@ ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
 }
 
 PreparedProgram prepare(std::string_view source, std::string name,
-                        const WorkloadInput& input) {
-  return prepare_multi(source, std::move(name), {input});
+                        const WorkloadInput& input, bool fuse) {
+  return prepare_multi(source, std::move(name), {input}, fuse);
 }
 
 PreparedProgram prepare_multi(std::string_view source, std::string name,
-                              const std::vector<WorkloadInput>& inputs) {
+                              const std::vector<WorkloadInput>& inputs,
+                              bool fuse) {
   if (inputs.empty()) {
     throw std::invalid_argument("prepare_multi needs at least one data set");
   }
@@ -62,6 +64,7 @@ PreparedProgram prepare_multi(std::string_view source, std::string name,
     for (const auto& [g, values] : input.int_inputs) machine.write_global(g, values);
     sim::SimOptions options;
     options.profile = true;
+    options.fuse = fuse;
     const sim::SimResult run = machine.run(options);
     prepared.baseline_run.exit_code = run.exit_code;
     prepared.baseline_run.steps = run.steps;

@@ -50,10 +50,12 @@ struct ExecutionResult {
 };
 
 /// Runs `module`'s main over the given inputs; with `profile` the module's
-/// exec_count annotations are cleared and refilled.
+/// exec_count annotations are cleared and refilled.  `fuse` selects the
+/// simulator tier (sim/fuse.hpp); both tiers are bit-identical, so it only
+/// affects speed — pass false to pin the unfused differential oracle.
 ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
                         const std::vector<std::string>& output_globals = {},
-                        bool profile = false);
+                        bool profile = false, bool fuse = sim::fuse_default());
 
 /// A compiled, canonicalized, profiled program — the shared baseline.
 struct PreparedProgram {
@@ -64,7 +66,8 @@ struct PreparedProgram {
 
 /// Steps 1-2: compile, canonicalize, verify, simulate with profiling.
 [[nodiscard]] PreparedProgram prepare(std::string_view source, std::string name,
-                                      const WorkloadInput& input);
+                                      const WorkloadInput& input,
+                                      bool fuse = sim::fuse_default());
 
 /// As prepare(), but profiles over several sample data sets (the paper's
 /// "Sample Benchmarks and Data"): execution counts accumulate across all
@@ -73,7 +76,8 @@ struct PreparedProgram {
 /// simulator (reset_memory() between sets).  The baseline_run captures
 /// the last data set's outcome.
 [[nodiscard]] PreparedProgram prepare_multi(std::string_view source, std::string name,
-                                            const std::vector<WorkloadInput>& inputs);
+                                            const std::vector<WorkloadInput>& inputs,
+                                            bool fuse = sim::fuse_default());
 
 // --- Deprecated free-function stages ----------------------------------------
 // The functions below are thin compatibility shims over pipeline::Session

@@ -134,12 +134,12 @@ std::string extension_key(opt::OptLevel level, const asip::SelectionOptions& s,
 // --- Session ----------------------------------------------------------------
 
 Session::Session(std::string_view source, std::string name,
-                 const WorkloadInput& input)
-    : prepared_(prepare(source, std::move(name), input)) {}
+                 const WorkloadInput& input, bool fuse)
+    : prepared_(prepare(source, std::move(name), input, fuse)) {}
 
 Session::Session(std::string_view source, std::string name,
-                 const std::vector<WorkloadInput>& inputs)
-    : prepared_(prepare_multi(source, std::move(name), inputs)) {}
+                 const std::vector<WorkloadInput>& inputs, bool fuse)
+    : prepared_(prepare_multi(source, std::move(name), inputs, fuse)) {}
 
 Session::Session(PreparedProgram prepared) : prepared_(std::move(prepared)) {}
 

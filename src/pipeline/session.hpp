@@ -51,12 +51,15 @@ namespace asipfb::pipeline {
 class Session {
  public:
   /// Compile + canonicalize + profile `source` (driver prepare()); throws
-  /// on compile/verify/simulation failure.
-  Session(std::string_view source, std::string name, const WorkloadInput& input);
+  /// on compile/verify/simulation failure.  `fuse` selects the simulator
+  /// tier for the profiling run (bit-identical either way).
+  Session(std::string_view source, std::string name, const WorkloadInput& input,
+          bool fuse = sim::fuse_default());
 
   /// As above, profiling over several sample data sets (prepare_multi()).
   Session(std::string_view source, std::string name,
-          const std::vector<WorkloadInput>& inputs);
+          const std::vector<WorkloadInput>& inputs,
+          bool fuse = sim::fuse_default());
 
   /// Adopts an already-prepared baseline (no re-simulation).  The artifact
   /// caches start empty.

@@ -1,0 +1,439 @@
+#include "sim/fuse.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace asipfb::sim {
+
+namespace {
+
+using ir::Opcode;
+
+/// Per-slot read counts over one function's records — every operand read
+/// the engine performs: ALU/compare/memory operands, cond-branch flags,
+/// return values, call arguments.  Writes don't count: a register whose
+/// only reader is its fusion follower can be elided invisibly (registers
+/// are not observable outputs; only memory, profile counts, and the
+/// SimResult are).
+void count_reads(const Program& p, std::uint32_t begin, std::uint32_t end,
+                 std::vector<std::uint32_t>& reads) {
+  for (std::uint32_t ip = begin; ip < end; ++ip) {
+    const DecodedInstr& d = p.code[ip];
+    switch (base_op(d.op)) {
+      using enum Opcode;
+      case Add: case Sub: case Mul: case Div: case Rem:
+      case Shl: case Shr: case And: case Or: case Xor:
+      case FAdd: case FSub: case FMul: case FDiv:
+      case CmpEq: case CmpNe: case CmpLt: case CmpLe: case CmpGt: case CmpGe:
+      case FCmpEq: case FCmpNe: case FCmpLt: case FCmpLe:
+      case FCmpGt: case FCmpGe:
+      case Store: case FStore:
+        ++reads[d.a];
+        ++reads[d.b];
+        break;
+      case Neg: case Not: case FNeg: case IntToFp: case FpToInt:
+      case Copy: case Load: case FLoad: case Intrin:
+      case CondBr:
+        ++reads[d.a];
+        break;
+      case Ret:
+        if (d.num_args != 0) ++reads[d.a];
+        break;
+      case Call:
+        for (std::uint32_t i = 0; i < d.num_args; ++i) {
+          ++reads[p.call_arg_slots[d.aux1 + i]];
+        }
+        break;
+      case MovI: case MovF: case AddrGlobal: case AddrLocal: case Br:
+        break;
+    }
+  }
+}
+
+/// True when exactly one of the two operand slots is `t`; reports the
+/// other operand and whether `t` sits on the left.  A double use
+/// (`add d,t,t`) disqualifies fusion — the fused record has one slot for
+/// the other operand, and eliding `t` would break the second read.
+bool single_operand_use(std::uint32_t a, std::uint32_t b, std::uint32_t t,
+                        std::uint32_t* other, bool* left) {
+  if ((a == t) == (b == t)) return false;
+  *left = a == t;
+  *other = *left ? b : a;
+  return true;
+}
+
+[[nodiscard]] constexpr bool is_int_cmp(Opcode op) {
+  return op >= Opcode::CmpEq && op <= Opcode::CmpGe;
+}
+[[nodiscard]] constexpr bool is_float_cmp(Opcode op) {
+  return op >= Opcode::FCmpEq && op <= Opcode::FCmpGe;
+}
+
+[[nodiscard]] SimOp cmp_br_op(Opcode cmp) {
+  if (is_int_cmp(cmp)) {
+    return static_cast<SimOp>(static_cast<int>(SimOp::CmpEqBr) +
+                              (static_cast<int>(cmp) -
+                               static_cast<int>(Opcode::CmpEq)));
+  }
+  return static_cast<SimOp>(static_cast<int>(SimOp::FCmpEqBr) +
+                            (static_cast<int>(cmp) -
+                             static_cast<int>(Opcode::FCmpEq)));
+}
+
+/// The fusion pass over one function: greedy left-to-right, longest match
+/// first (triple before pair), each match consuming its span so fused
+/// regions never overlap.
+class FunctionFuser {
+ public:
+  FunctionFuser(const Program& p, std::uint32_t begin, std::uint32_t end,
+                std::uint32_t num_regs, FusionResult& out)
+      : p_(p), begin_(begin), end_(end), out_(out) {
+    reads_.assign(num_regs, 0);
+    count_reads(p, begin, end, reads_);
+  }
+
+  void run() {
+    std::uint32_t ip = begin_;
+    while (ip < end_) {
+      std::uint32_t span = try_triple(ip);
+      if (span == 0) span = try_pair(ip);
+      ip += span == 0 ? 1 : span;
+    }
+  }
+
+ private:
+  /// Materialization slot for a leader destination: written exactly like
+  /// the unfused engine when anything beyond the follower reads it,
+  /// elided (kNoSlot) when the follower is its only reader.
+  [[nodiscard]] std::uint32_t mat_slot(std::uint32_t t) const {
+    return reads_[t] > 1 ? t : kNoSlot;
+  }
+
+  /// All components must share one counting block: block starts are the
+  /// only control-entry points (branch targets, call resumes follow a
+  /// Call, which is never a component), so nothing can jump into the
+  /// middle of a superinstruction.
+  [[nodiscard]] bool straight_line(std::uint32_t first,
+                                   std::uint32_t last) const {
+    return last < end_ && p_.block_of[first] == p_.block_of[last];
+  }
+
+  /// Writes the fused record; cycle_cost becomes the component sum so the
+  /// dispatch macro charges cycles for the whole superinstruction at once.
+  void emit(std::uint32_t ip, std::uint32_t span, DecodedInstr d) {
+    std::uint8_t cost = 0;
+    for (std::uint32_t k = 0; k < span; ++k) cost += p_.code[ip + k].cycle_cost;
+    d.cycle_cost = cost;
+    out_.code[ip] = d;
+  }
+
+  /// MovI t,C; CmpXX f,i,t; CondBr f -> CmpXXImmBr: the common loop exit
+  /// test.  The constant must sit on the compare's right; both
+  /// intermediates are materialized only when read elsewhere.
+  std::uint32_t try_imm_cmp_br(std::uint32_t ip) {
+    const DecodedInstr& mov = p_.code[ip];
+    const DecodedInstr& cmp = p_.code[ip + 1];
+    const DecodedInstr& br = p_.code[ip + 2];
+    if (base_op(mov.op) != Opcode::MovI) return 0;
+    if (!is_int_cmp(base_op(cmp.op))) return 0;
+    if (base_op(br.op) != Opcode::CondBr) return 0;
+    if (cmp.b != mov.dst || cmp.a == mov.dst) return 0;
+    if (br.a != cmp.dst) return 0;
+    DecodedInstr d;
+    d.op = static_cast<SimOp>(static_cast<int>(SimOp::CmpEqImmBr) +
+                              (static_cast<int>(base_op(cmp.op)) -
+                               static_cast<int>(Opcode::CmpEq)));
+    d.imm_i = mov.imm_i;
+    d.a = cmp.a;
+    d.b = mat_slot(mov.dst);
+    d.dst = mat_slot(cmp.dst);
+    d.aux0 = br.aux0;
+    d.aux1 = br.aux1;
+    emit(ip, 3, d);
+    ++out_.stats.imm_cmp_branch;
+    return 3;
+  }
+
+  /// load t,[p]; mul u,(t,c); add d,(u,z) with t and u dead after the
+  /// triple (single-use) -> LoadMulAdd / FLoadFMulFAdd.
+  std::uint32_t try_triple(std::uint32_t ip) {
+    if (!straight_line(ip, ip + 2)) return 0;
+    if (const std::uint32_t span = try_imm_cmp_br(ip)) return span;
+    const DecodedInstr& ld = p_.code[ip];
+    const DecodedInstr& mul = p_.code[ip + 1];
+    const DecodedInstr& add = p_.code[ip + 2];
+    const Opcode lop = base_op(ld.op);
+    const bool flt = lop == Opcode::FLoad;
+    if (lop != Opcode::Load && !flt) return 0;
+    if (base_op(mul.op) != (flt ? Opcode::FMul : Opcode::Mul)) return 0;
+    if (base_op(add.op) != (flt ? Opcode::FAdd : Opcode::Add)) return 0;
+    std::uint32_t mul_other = 0, add_other = 0;
+    bool left = false;
+    if (!single_operand_use(mul.a, mul.b, ld.dst, &mul_other, &left)) return 0;
+    // Float handlers evaluate the chained value on the left; IEEE addition
+    // and multiplication are only bit-commutative outside NaN payload
+    // propagation, so a right-hand float use stays unfused.  Integer
+    // arithmetic wraps identically either way.
+    if (flt && !left) return 0;
+    if (reads_[ld.dst] != 1) return 0;
+    if (!single_operand_use(add.a, add.b, mul.dst, &add_other, &left)) return 0;
+    if (flt && !left) return 0;
+    if (reads_[mul.dst] != 1) return 0;
+    DecodedInstr d;
+    d.op = flt ? SimOp::FLoadFMulFAdd : SimOp::LoadMulAdd;
+    d.a = ld.a;
+    d.b = mul_other;
+    d.aux0 = add_other;
+    d.dst = add.dst;
+    emit(ip, 3, d);
+    ++out_.stats.load_mul_add;
+    return 3;
+  }
+
+  std::uint32_t try_pair(std::uint32_t ip) {
+    if (!straight_line(ip, ip + 1)) return 0;
+    const DecodedInstr& l = p_.code[ip];
+    const DecodedInstr& f = p_.code[ip + 1];
+    const Opcode lop = base_op(l.op);
+    const Opcode fop = base_op(f.op);
+
+    // compare -> cond-branch, branching directly on the comparison.
+    if ((is_int_cmp(lop) || is_float_cmp(lop)) && fop == Opcode::CondBr &&
+        f.a == l.dst) {
+      DecodedInstr d;
+      d.op = cmp_br_op(lop);
+      d.a = l.a;
+      d.b = l.b;
+      d.dst = mat_slot(l.dst);
+      d.aux0 = f.aux0;
+      d.aux1 = f.aux1;
+      emit(ip, 2, d);
+      ++out_.stats.cmp_branch;
+      return 2;
+    }
+
+    // ALU -> add/sub chains (multiply-accumulate and friends).  Int adds
+    // are bit-commutative, so one record covers both operand orders; float
+    // followers pick the L/R variant matching the unfused evaluation.
+    {
+      SimOp chain = SimOp::Add;  // Overwritten on a match.
+      std::uint32_t other = 0;
+      bool left = false;
+      bool matched = false;
+      if (fop == Opcode::Add &&
+          (lop == Opcode::Mul || lop == Opcode::Add || lop == Opcode::Shl) &&
+          single_operand_use(f.a, f.b, l.dst, &other, &left)) {
+        chain = lop == Opcode::Mul   ? SimOp::MulAdd
+                : lop == Opcode::Add ? SimOp::AddAdd
+                                     : SimOp::ShlAdd;
+        matched = true;
+      } else if (lop == Opcode::Mul && fop == Opcode::IntToFp &&
+                 f.a == l.dst) {
+        chain = SimOp::MulIToF;  // aux0 unused: IntToFp is one-operand.
+        matched = true;
+      } else if (lop == Opcode::FMul &&
+                 (fop == Opcode::FAdd || fop == Opcode::FSub) &&
+                 single_operand_use(f.a, f.b, l.dst, &other, &left)) {
+        chain = fop == Opcode::FAdd
+                    ? (left ? SimOp::FMulAdd : SimOp::FMulAddR)
+                    : (left ? SimOp::FMulFSubL : SimOp::FMulFSubR);
+        matched = true;
+      }
+      if (matched) {
+        DecodedInstr d;
+        d.op = chain;
+        d.a = l.a;
+        d.b = l.b;
+        d.aux0 = other;
+        d.aux1 = mat_slot(l.dst);
+        d.dst = f.dst;
+        emit(ip, 2, d);
+        ++out_.stats.mul_add;
+        return 2;
+      }
+    }
+
+    // Constant producer -> ALU op.
+    if ((lop == Opcode::AddrGlobal && fop == Opcode::Add) ||
+        (lop == Opcode::MovI &&
+         (fop == Opcode::Add || fop == Opcode::Shl))) {
+      std::uint32_t other = 0;
+      bool left = false;
+      if (single_operand_use(f.a, f.b, l.dst, &other, &left)) {
+        DecodedInstr d;
+        if (lop == Opcode::AddrGlobal) {
+          d.op = SimOp::AddrGAdd;
+          d.aux0 = l.aux0;  // Resolved base address.
+        } else {
+          d.op = fop == Opcode::Add ? SimOp::MovIAdd
+                 : left             ? SimOp::MovIShlL
+                                    : SimOp::MovIShlR;
+          d.imm_i = l.imm_i;
+        }
+        d.a = other;
+        d.b = mat_slot(l.dst);
+        d.dst = f.dst;
+        emit(ip, 2, d);
+        ++out_.stats.const_alu;
+        return 2;
+      }
+    }
+
+    // add -> unconditional branch: the straight-line tail of a block.
+    if (lop == Opcode::Add && fop == Opcode::Br) {
+      DecodedInstr d;
+      d.op = SimOp::AddBr;
+      d.a = l.a;
+      d.b = l.b;
+      d.dst = l.dst;  // Always written, as in the unfused engine.
+      d.aux0 = f.aux0;
+      emit(ip, 2, d);
+      ++out_.stats.add_br;
+      return 2;
+    }
+
+    // address-compute -> load/store.
+    const bool f_load = fop == Opcode::Load || fop == Opcode::FLoad;
+    const bool f_store = fop == Opcode::Store || fop == Opcode::FStore;
+    if ((lop == Opcode::AddrGlobal || lop == Opcode::AddrLocal ||
+         lop == Opcode::Add) &&
+        ((f_load && f.a == l.dst) ||
+         (f_store && f.a == l.dst && f.b != l.dst))) {
+      DecodedInstr d;
+      if (lop == Opcode::AddrGlobal) {
+        d.op = f_load ? SimOp::AddrGLoad : SimOp::AddrGStore;
+        d.aux0 = l.aux0;  // Resolved base address.
+        d.a = mat_slot(l.dst);
+      } else if (lop == Opcode::AddrLocal) {
+        d.op = f_load ? SimOp::AddrLLoad : SimOp::AddrLStore;
+        d.imm_i = l.imm_i;  // Frame offset.
+        d.a = mat_slot(l.dst);
+      } else {
+        d.op = f_load ? SimOp::AddLoad : SimOp::AddStore;
+        d.a = l.a;
+        d.b = l.b;
+        if (f_load) {
+          d.aux0 = mat_slot(l.dst);
+        } else {
+          d.aux0 = f.b;
+          d.aux1 = mat_slot(l.dst);
+        }
+      }
+      if (f_load) {
+        d.dst = f.dst;
+      } else if (lop != Opcode::Add) {
+        d.b = f.b;  // Value slot for AddrG/AddrL stores.
+      }
+      emit(ip, 2, d);
+      ++out_.stats.addr_mem;
+      return 2;
+    }
+
+    // load -> int-to-float (the follower is one-operand, so no
+    // single-use disambiguation is needed).
+    if (lop == Opcode::Load && fop == Opcode::IntToFp && f.a == l.dst) {
+      DecodedInstr d;
+      d.op = SimOp::LoadIToF;
+      d.a = l.a;
+      d.b = mat_slot(l.dst);
+      d.dst = f.dst;
+      emit(ip, 2, d);
+      ++out_.stats.load_alu;
+      return 2;
+    }
+
+    // load -> ALU op.
+    if (lop == Opcode::Load || lop == Opcode::FLoad) {
+      std::uint32_t other = 0;
+      bool left = false;
+      if (single_operand_use(f.a, f.b, l.dst, &other, &left)) {
+        SimOp op;
+        switch (fop) {
+          using enum Opcode;
+          case Add: op = SimOp::LoadAdd; break;
+          case Sub: op = left ? SimOp::LoadSubL : SimOp::LoadSubR; break;
+          case Mul: op = SimOp::LoadMul; break;
+          case And: op = SimOp::LoadAnd; break;
+          case Or: op = SimOp::LoadOr; break;
+          case Xor: op = SimOp::LoadXor; break;
+          // Float followers keep the unfused operand order via L/R
+          // variants (NaN-payload bit-exactness).
+          case FAdd: op = left ? SimOp::FLoadFAdd : SimOp::FLoadFAddR; break;
+          case FSub: op = left ? SimOp::FLoadFSubL : SimOp::FLoadFSubR; break;
+          case FMul: op = left ? SimOp::FLoadFMul : SimOp::FLoadFMulR; break;
+          default: return 0;
+        }
+        // Type discipline: integer loads feed integer ops, float loads
+        // float ops — mixed pairs stay unfused.
+        const bool f_alu = fop == Opcode::FAdd || fop == Opcode::FSub ||
+                           fop == Opcode::FMul;
+        if (f_alu != (lop == Opcode::FLoad)) return 0;
+        DecodedInstr d;
+        d.op = op;
+        d.a = l.a;
+        d.b = mat_slot(l.dst);
+        d.aux0 = other;
+        d.dst = f.dst;
+        emit(ip, 2, d);
+        ++out_.stats.load_alu;
+        return 2;
+      }
+    }
+
+    // Conversion/intrinsic chains.
+    if (lop == Opcode::IntToFp || lop == Opcode::Intrin) {
+      if (lop == Opcode::IntToFp && fop == Opcode::Intrin && f.a == l.dst) {
+        DecodedInstr d;
+        d.op = SimOp::IToFIntrin;
+        d.intrinsic = f.intrinsic;
+        d.a = l.a;
+        d.b = mat_slot(l.dst);
+        d.dst = f.dst;
+        emit(ip, 2, d);
+        ++out_.stats.cvt_chain;
+        return 2;
+      }
+      std::uint32_t other = 0;
+      bool left = false;
+      if (fop == Opcode::FMul &&
+          single_operand_use(f.a, f.b, l.dst, &other, &left)) {
+        DecodedInstr d;
+        d.op = lop == Opcode::IntToFp
+                   ? (left ? SimOp::IToFFMulL : SimOp::IToFFMulR)
+                   : (left ? SimOp::IntrinFMulL : SimOp::IntrinFMulR);
+        d.intrinsic = l.intrinsic;
+        d.a = l.a;
+        d.b = mat_slot(l.dst);
+        d.aux0 = other;
+        d.dst = f.dst;
+        emit(ip, 2, d);
+        ++out_.stats.cvt_chain;
+        return 2;
+      }
+    }
+    return 0;
+  }
+
+  const Program& p_;
+  std::uint32_t begin_;
+  std::uint32_t end_;
+  FusionResult& out_;
+  std::vector<std::uint32_t> reads_;
+};
+
+}  // namespace
+
+FusionResult fuse(const Program& p) {
+  FusionResult r;
+  r.code = p.code;
+  for (std::size_t f = 0; f < p.functions.size(); ++f) {
+    const std::uint32_t begin = p.functions[f].entry;
+    const std::uint32_t end = f + 1 < p.functions.size()
+                                  ? p.functions[f + 1].entry
+                                  : static_cast<std::uint32_t>(p.code.size());
+    FunctionFuser(p, begin, end, p.functions[f].num_regs, r).run();
+  }
+  return r;
+}
+
+}  // namespace asipfb::sim

@@ -1,0 +1,152 @@
+// Post-decode superinstruction fusion — the tier between the portable
+// interpreter and a future copy-and-patch JIT.
+//
+// fuse() rewrites a decoded sim::Program's hot straight-line patterns into
+// superinstruction records with dedicated Machine handlers, eliminating
+// one dispatch (indirect branch + record fetch + step check) per fused
+// follower.  The rewrite is purely local and index-preserving: the fused
+// code array has the same length as Program::code, followers stay in
+// place (never dispatched to), and every branch target, counting block,
+// and profile back-map entry is valid for both tiers.  That makes fusion
+// semantically invisible — outputs, steps, cycles, oob_loads, fault
+// behavior and per-instruction exec_count are bit-identical to the
+// unfused engine, which remains the differential oracle
+// (SimOptions::fuse selects the tier; tests/sim/fuse_test.cpp and the
+// corpus differential pin the parity).
+//
+// Patterns (and why each is fusion-safe):
+//
+//   compare -> cond-branch   CmpXX t,a,b; CondBr t  ->  CmpXXBr
+//     The branch tests the comparison directly.  The flag register is
+//     still written when anything else reads it (dst slot), elided when
+//     the cond-branch is its only reader.
+//   ALU -> add/sub chains    Mul/Add/Shl t,a,b; Add d,(t,z)
+//                            -> MulAdd / AddAdd / ShlAdd / FMulAdd[R] /
+//                               FMulFSub[LR]
+//     The leader's result is materialized into t only if t has other
+//     readers (aux1 slot).  Float forms round the product to f32 before
+//     the add (bit-cast barrier), exactly like two separate handlers,
+//     and keep the follower's operand order via the R variants.
+//   constant -> ALU op       MovI t,C; Add/Shl d,(t,z) -> MovIAdd,
+//                            MovIShl[LR]; AddrGlobal t; Add d,(t,z)
+//                            -> AddrGAdd
+//     The constant feeds the ALU directly from the record.
+//   add -> br                Add d,a,b; Br L  ->  AddBr
+//     Straight-line tail of a block: the add's result is always written;
+//     the branch costs no extra dispatch.
+//   MovI -> compare -> cond-branch  MovI t,C; CmpXX f,i,t; CondBr f
+//                            -> CmpXXImmBr (int compares, constant on the
+//                               right) — the common loop exit test.
+//     Both intermediates are materialized only if read elsewhere.
+//   address-compute -> load/store
+//     AddrGlobal t; Load/Store [t]   -> AddrGLoad / AddrGStore
+//       (the address is a decode-time constant inside the globals, so
+//        the access provably cannot go out of bounds)
+//     AddrLocal t; Load/Store [t]    -> AddrLLoad / AddrLStore
+//     Add t,a,b;   Load/Store [t]    -> AddLoad / AddStore
+//       (full OOB-load / faulting-store semantics preserved)
+//   load -> ALU op           Load t,[p]; Op d,(t,z)  ->  LoadAdd, ...
+//     Bit-commutative int ops (Add/Mul/And/Or/Xor) get one record;
+//     order-sensitive and float ops keep the operand order via L/R
+//     variants (FAdd/FMul are only bit-commutative outside NaN payload
+//     propagation — same rule everywhere a float op is a follower).
+//   conversion chains        Load/Mul t; IToF d,(t)  -> LoadIToF/MulIToF
+//                            IToF t,(i); Intrin d,(t) -> IToFIntrin
+//                            IToF/Intrin t; FMul d,(t,z)
+//                              -> IToFFMul[LR] / IntrinFMul[LR]
+//     The trig-table idiom (index -> float -> sin/cos -> scale).
+//   load -> multiply -> add  (triple)               ->  LoadMulAdd
+//     Only when both intermediates are single-use (dead after the
+//     triple), so no materialization slots are needed.
+//
+// Eligibility rules shared by all patterns:
+//   * all components sit in one counting block (Program::block_of), so
+//     control can never enter mid-superinstruction — branch targets and
+//     call-resume points are always block starts or follow a Call, and
+//     neither Call nor any terminator is ever a fused component;
+//   * the follower reads the leader's destination through exactly one
+//     operand (a double use like `add d,t,t` stays unfused);
+//   * a leader destination with readers beyond the follower is written
+//     exactly as the unfused engine would (materialization slot).
+//
+// Profiling parity falls out of index preservation: a fused handler
+// charges one step per original component (so the step-limit fault lands
+// on the exact component, in original-instruction units), sets fault_ip_
+// to the faulting component's flat index, and the existing partial-block
+// fixup then truncates exec_count mid-superinstruction precisely.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/program.hpp"
+
+namespace asipfb::sim {
+
+/// Static fusion counts per pattern family (decoded-record granularity).
+struct FusionStats {
+  std::size_t cmp_branch = 0;    ///< compare -> cond-branch pairs.
+  std::size_t mul_add = 0;       ///< multiply/ALU -> add/sub/itof chains.
+  std::size_t const_alu = 0;     ///< MovI/AddrGlobal -> ALU-op pairs.
+  std::size_t addr_mem = 0;      ///< address-compute -> load/store pairs.
+  std::size_t load_alu = 0;      ///< load -> ALU-op/itof pairs.
+  std::size_t cvt_chain = 0;     ///< itof/intrinsic conversion chains.
+  std::size_t add_br = 0;        ///< add -> unconditional-branch pairs.
+  std::size_t load_mul_add = 0;  ///< load -> multiply -> add triples.
+  std::size_t imm_cmp_branch = 0;  ///< MovI -> compare -> cond-branch triples.
+
+  [[nodiscard]] std::size_t pairs() const {
+    return cmp_branch + mul_add + const_alu + addr_mem + load_alu +
+           cvt_chain + add_br;
+  }
+  [[nodiscard]] std::size_t triples() const {
+    return load_mul_add + imm_cmp_branch;
+  }
+};
+
+/// The fused tier of a program.
+///
+/// Superinstruction operand layouts (see Machine's handlers):
+///   CmpXXBr:   a,b = compare operands; dst = flag slot or kNoSlot;
+///              aux0 = taken target, aux1 = fall-through (flat indices)
+///   MulAdd, FMulAdd[R], FMulFSub[LR], AddAdd, ShlAdd:
+///              a,b = leader operands; aux0 = follower's other operand;
+///              aux1 = leader-result slot or kNoSlot; dst = result
+///   AddrGAdd:  aux0 = resolved base; a = other addend;
+///              b = address slot or kNoSlot; dst = sum
+///   MovIAdd, MovIShl[LR]:
+///              imm_i = constant; a = other operand;
+///              b = constant slot or kNoSlot; dst = result
+///   AddBr:     a,b = addends; dst = sum; aux0 = branch target (flat)
+///   CmpXXImmBr:imm_i = constant (compare's right operand); a = left
+///              operand; b = constant slot or kNoSlot; dst = flag slot or
+///              kNoSlot; aux0 = taken target, aux1 = fall-through
+///   AddrGLoad: aux0 = resolved base; a = address slot or kNoSlot; dst
+///   AddrGStore:aux0 = resolved base; b = value slot; a = addr slot or kNoSlot
+///   AddrLLoad: imm_i = frame offset; a = address slot or kNoSlot; dst
+///   AddrLStore:imm_i = frame offset; b = value slot; a = addr slot or kNoSlot
+///   AddLoad:   a,b = address addends; aux0 = address slot or kNoSlot; dst
+///   AddStore:  a,b = address addends; aux0 = value slot;
+///              aux1 = address slot or kNoSlot
+///   Load*:     a = address slot; b = loaded-value slot or kNoSlot;
+///              aux0 = other ALU operand (unused for LoadIToF); dst
+///   MulIToF:   a,b = multiply operands; aux1 = product slot or kNoSlot;
+///              dst = converted result
+///   IToFIntrin:a = int source; b = converted slot or kNoSlot; dst;
+///              intrinsic = the follower's kind
+///   IToFFMul[LR], IntrinFMul[LR]:
+///              a = leader source; b = leader-result slot or kNoSlot;
+///              aux0 = other multiply operand; dst; intrinsic = leader's
+///              kind (IntrinFMul)
+///   LoadMulAdd:a = address slot; b = multiply operand;
+///              aux0 = add operand; dst = sum (intermediates dead)
+struct FusionResult {
+  std::vector<DecodedInstr> code;  ///< Same length/indices as Program::code.
+  FusionStats stats;
+};
+
+/// Builds the superinstruction tier for a decoded program.  Pure: `p` is
+/// not modified, and the result depends only on `p`.
+[[nodiscard]] FusionResult fuse(const Program& p);
+
+}  // namespace asipfb::sim

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ir/function.hpp"
+#include "sim/fuse.hpp"
 #include "sim/program.hpp"
 
 namespace asipfb::sim {
@@ -34,10 +35,17 @@ public:
   using std::runtime_error::runtime_error;
 };
 
+/// Default for SimOptions::fuse: on, unless the ASIPFB_NO_FUSE environment
+/// variable is set (non-empty).  The env override lets CI run every
+/// sim-touching suite against the unfused oracle without code changes.
+[[nodiscard]] bool fuse_default();
+
 struct SimOptions {
   std::uint64_t max_steps = 2'000'000'000;  ///< Fault when exceeded.
   int max_call_depth = 256;                 ///< Fault when exceeded.
   bool profile = false;                     ///< Bump Instr::exec_count.
+  bool fuse = fuse_default();  ///< Execute the superinstruction tier
+                               ///< (sim/fuse.hpp); off = unfused oracle.
 };
 
 struct SimResult {
@@ -79,6 +87,10 @@ public:
   /// The decoded form this machine executes.
   [[nodiscard]] const Program& program() const { return program_; }
 
+  /// Pattern counts of the superinstruction tier.  Builds the tier if no
+  /// fused run has happened yet.
+  [[nodiscard]] const FusionStats& fusion_stats();
+
 private:
   struct Frame {
     std::uint32_t func = 0;        ///< Decoded function index.
@@ -90,8 +102,14 @@ private:
 
   [[nodiscard]] const ir::GlobalArray& global_by_name(std::string_view name) const;
 
+  /// The dispatch loop, over either tier's code array (`code` is
+  /// program_.code.data() or fused_code_.data(); same length and indices).
   template <bool Profile>
-  SimResult exec(const SimOptions& options, ir::FuncId entry);
+  SimResult exec(const SimOptions& options, ir::FuncId entry,
+                 const DecodedInstr* code);
+
+  /// The superinstruction tier, built lazily on the first fused run.
+  [[nodiscard]] const DecodedInstr* fused_code();
 
   /// Expands block_counts_ into the per-instruction profile_ table.
   void expand_profile();
@@ -104,6 +122,9 @@ private:
 
   ir::Module& module_;
   Program program_;
+  std::vector<DecodedInstr> fused_code_;  ///< Lazily built (fused_code()).
+  FusionStats fusion_stats_;
+  bool fused_built_ = false;
   std::vector<std::uint32_t> memory_;
   std::uint32_t globals_end_ = 0;
   /// One past the highest frame-region word any run has stored to since the

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <string>
 
+#include "sim/baseline_hash.hpp"
 #include "support/rng.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/suite.hpp"
@@ -180,6 +181,19 @@ TEST_P(FuzzDifferential, AllLevelsAgree) {
   const std::vector<std::string> outputs{"A", "B", "F", "acc", "facc"};
   const auto base = pipeline::execute(prepared.module, input, outputs);
 
+  // Superinstruction fusion must be invisible on every random program: the
+  // unfused interpreter is the differential oracle for the fused tier.
+  {
+    const auto unfused = pipeline::execute(prepared.module, input, outputs,
+                                           /*profile=*/false, /*fuse=*/false);
+    const auto fused = pipeline::execute(prepared.module, input, outputs,
+                                         /*profile=*/false, /*fuse=*/true);
+    EXPECT_EQ(fused.exit_code, unfused.exit_code) << "seed " << seed;
+    EXPECT_EQ(fused.steps, unfused.steps) << "seed " << seed;
+    EXPECT_EQ(fused.cycles, unfused.cycles) << "seed " << seed;
+    EXPECT_EQ(fused.outputs, unfused.outputs) << "seed " << seed << "\n" << source;
+  }
+
   for (auto level : {opt::OptLevel::O1, opt::OptLevel::O2}) {
     for (int factor : {2, 3}) {
       opt::OptimizeOptions options;
@@ -220,6 +234,25 @@ TEST_P(CorpusDifferential, SimMatchesOracleAndLevelsAgree) {
   for (const auto& [global, words] : w.expected) {
     EXPECT_EQ(base.outputs.at(global), words)
         << w.name << " global " << global << "\n" << w.source;
+  }
+
+  // The fused tier must match the unfused oracle on every scenario — down
+  // to the per-instruction execution counts (profiled over two private
+  // module copies so the attributions can be hashed independently).
+  {
+    ir::Module fused_m = prepared.module;
+    ir::Module unfused_m = prepared.module;
+    const auto fused = pipeline::execute(fused_m, w.input, w.outputs,
+                                         /*profile=*/true, /*fuse=*/true);
+    const auto unfused = pipeline::execute(unfused_m, w.input, w.outputs,
+                                           /*profile=*/true, /*fuse=*/false);
+    EXPECT_EQ(fused.exit_code, unfused.exit_code) << w.name;
+    EXPECT_EQ(fused.steps, unfused.steps) << w.name;
+    EXPECT_EQ(fused.cycles, unfused.cycles) << w.name;
+    EXPECT_EQ(fused.oob_loads, unfused.oob_loads) << w.name;
+    EXPECT_EQ(fused.outputs, unfused.outputs) << w.name;
+    EXPECT_EQ(sim::profile_hash(fused_m), sim::profile_hash(unfused_m))
+        << w.name << ": per-instruction execution counts diverged";
   }
 
   // And every optimization level must agree with the baseline.

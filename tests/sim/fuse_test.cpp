@@ -1,0 +1,356 @@
+// The superinstruction fusion tier (sim/fuse.hpp): patterns fuse where
+// expected, intermediate results are materialized exactly when live, and —
+// the load-bearing property — the fused engine is bit-identical to the
+// unfused oracle: outputs, steps, cycles, oob_loads, fault behavior, and
+// per-instruction exec_count attribution, including faults that land
+// mid-superinstruction (on a follower).  The generated-corpus differential
+// in tests/integration/fuzz_differential_test.cpp extends the same parity
+// check across 96 randomized scenarios.
+#include "sim/fuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/compile.hpp"
+#include "ir/builder.hpp"
+#include "opt/cleanup.hpp"
+#include "pipeline/driver.hpp"
+#include "sim/baseline_hash.hpp"
+#include "sim/decode.hpp"
+#include "sim/machine.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb::sim {
+namespace {
+
+using ir::Builder;
+using ir::Opcode;
+using ir::Type;
+
+// --- Pattern-unit tests: hand-built IR, exact record inspection -------------
+
+/// entry: x=5; y=7; s=x+y; flag=(s<x); condbr flag ? yes : no
+/// Flat: 0 MovI, 1 MovI, 2 Add, 3 CmpLt, 4 CondBr, 5 Ret, 6 Ret.
+ir::Module cmp_br_module(bool reuse_flag) {
+  ir::Module m;
+  ir::Function fn;
+  fn.name = "main";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const auto entry = b.create_block("entry");
+  const auto yes = b.create_block("yes");
+  const auto no = b.create_block("no");
+  b.set_insert_point(entry);
+  const auto x = b.emit_movi(5);
+  const auto y = b.emit_movi(7);
+  const auto s = b.emit_binary(Opcode::Add, Type::I32, x, y);
+  const auto flag = b.emit_binary(Opcode::CmpLt, Type::I32, s, x);
+  b.emit_cond_br(flag, yes, no);
+  b.set_insert_point(yes);
+  b.emit_ret_value(reuse_flag ? flag : x);
+  b.set_insert_point(no);
+  b.emit_ret_value(y);
+  m.functions.push_back(std::move(fn));
+  return m;
+}
+
+TEST(FusePatterns, CompareBranchElidesDeadFlag) {
+  ir::Module m = cmp_br_module(/*reuse_flag=*/false);
+  ir::Module oracle = m;
+  Program p = decode(m);
+  const FusionResult r = fuse(p);
+  ASSERT_EQ(r.code.size(), p.code.size()) << "fusion must be index-preserving";
+
+  // MovI 7 feeds the add once -> MovIAdd; but y is also read by a Ret, so
+  // the constant still materializes into its register slot.
+  EXPECT_EQ(r.code[1].op, SimOp::MovIAdd);
+  EXPECT_NE(r.code[1].b, kNoSlot) << "live constant must materialize";
+
+  // The flag's only reader is the cond-branch -> flag write elided.
+  EXPECT_EQ(r.code[3].op, SimOp::CmpLtBr);
+  EXPECT_EQ(r.code[3].dst, kNoSlot) << "dead flag must not materialize";
+  EXPECT_EQ(r.code[3].aux0, p.code[4].aux0) << "taken target preserved";
+  EXPECT_EQ(r.code[3].aux1, p.code[4].aux1) << "fall-through preserved";
+  EXPECT_GE(r.stats.cmp_branch, 1u);
+  EXPECT_GE(r.stats.const_alu, 1u);
+
+  // Both tiers return the same exit code (the branch goes the same way).
+  Machine fused(m), unfused(oracle);
+  SimOptions on, off;
+  on.fuse = true;
+  off.fuse = false;
+  EXPECT_EQ(fused.run(on).exit_code, unfused.run(off).exit_code);
+}
+
+TEST(FusePatterns, CompareBranchMaterializesLiveFlag) {
+  ir::Module m = cmp_br_module(/*reuse_flag=*/true);
+  Program p = decode(m);
+  const FusionResult r = fuse(p);
+  EXPECT_EQ(r.code[3].op, SimOp::CmpLtBr);
+  EXPECT_EQ(r.code[3].dst, p.code[3].dst)
+      << "flag read by a Ret must be written exactly like the unfused tier";
+}
+
+TEST(FusePatterns, ImmediateCompareBranchTriple) {
+  // entry: x=5; y=7; flag=(x<y); condbr — the classic loop exit test.
+  // Flat: 0 MovI, 1 MovI, 2 CmpLt, 3 CondBr, 4 Ret, 5 Ret.
+  ir::Module m;
+  ir::Function fn;
+  fn.name = "main";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  const auto entry = b.create_block("entry");
+  const auto yes = b.create_block("yes");
+  const auto no = b.create_block("no");
+  b.set_insert_point(entry);
+  const auto x = b.emit_movi(5);
+  const auto y = b.emit_movi(7);
+  const auto flag = b.emit_binary(Opcode::CmpLt, Type::I32, x, y);
+  b.emit_cond_br(flag, yes, no);
+  b.set_insert_point(yes);
+  b.emit_ret_value(x);
+  b.set_insert_point(no);
+  b.emit_ret_value(y);
+  m.functions.push_back(std::move(fn));
+
+  Program p = decode(m);
+  const FusionResult r = fuse(p);
+  EXPECT_EQ(r.code[1].op, SimOp::CmpLtImmBr);
+  EXPECT_EQ(r.code[1].imm_i, 7);
+  EXPECT_NE(r.code[1].b, kNoSlot) << "y is read by a Ret -> materialized";
+  EXPECT_EQ(r.code[1].dst, kNoSlot) << "flag only feeds the branch";
+  EXPECT_EQ(fused_span(r.code[1].op), 3u);
+  EXPECT_GE(r.stats.imm_cmp_branch, 1u);
+}
+
+TEST(FusePatterns, MulAddElidesDeadProduct) {
+  // entry: x=3; y=4; p=x*y; s=p+x; ret s.  The product p is dead after
+  // the add, so the MulAdd record needs no materialization slot.
+  ir::Module m;
+  ir::Function fn;
+  fn.name = "main";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const auto x = b.emit_movi(3);
+  const auto y = b.emit_movi(4);
+  const auto p0 = b.emit_binary(Opcode::Mul, Type::I32, x, y);
+  const auto s = b.emit_binary(Opcode::Add, Type::I32, p0, x);
+  b.emit_ret_value(s);
+  m.functions.push_back(std::move(fn));
+
+  Program p = decode(m);
+  const FusionResult r = fuse(p);
+  EXPECT_EQ(r.code[2].op, SimOp::MulAdd);
+  EXPECT_EQ(r.code[2].aux1, kNoSlot) << "dead product must not materialize";
+  EXPECT_GE(r.stats.mul_add, 1u);
+
+  Machine machine(m);
+  EXPECT_EQ(machine.run().exit_code, 15);
+}
+
+// --- Differential parity: fused tier vs the unfused oracle ------------------
+
+/// Runs `source` on both tiers (profiled) over two module copies and checks
+/// every observable: exit code, steps, cycles, oob_loads, declared outputs,
+/// and the per-instruction exec_count attribution (via profile_hash).
+void expect_tier_parity(const std::string& source,
+                        const std::vector<std::string>& outputs = {}) {
+  ir::Module fused_m = fe::compile_benchc(source, "parity");
+  opt::canonicalize(fused_m);
+  ir::Module unfused_m = fused_m;
+
+  const pipeline::WorkloadInput input;
+  const auto fused = pipeline::execute(fused_m, input, outputs,
+                                       /*profile=*/true, /*fuse=*/true);
+  const auto unfused = pipeline::execute(unfused_m, input, outputs,
+                                         /*profile=*/true, /*fuse=*/false);
+  EXPECT_EQ(fused.exit_code, unfused.exit_code);
+  EXPECT_EQ(fused.steps, unfused.steps);
+  EXPECT_EQ(fused.cycles, unfused.cycles);
+  EXPECT_EQ(fused.oob_loads, unfused.oob_loads);
+  EXPECT_EQ(fused.outputs, unfused.outputs);
+  EXPECT_EQ(profile_hash(fused_m), profile_hash(unfused_m))
+      << "per-instruction execution counts diverged";
+}
+
+TEST(FuseParity, OutOfBoundsLoadIsSpeculativeOnBothTiers) {
+  // A[i] with i far out of bounds: the load lands in a fused record
+  // (AddrGAdd feeds it; the follower ALU makes it a Load* superinstruction)
+  // and must still read as 0 and count one oob_load.
+  expect_tier_parity(
+      "int A[4];\n"
+      "int main() { int i; i = 1000000; return A[i] + 7; }\n");
+}
+
+TEST(FuseParity, SuiteWorkloadsBitIdentical) {
+  for (const auto& w : wl::suite()) {
+    SCOPED_TRACE(w.name);
+    ir::Module fused_m = fe::compile_benchc(w.source, w.name);
+    opt::canonicalize(fused_m);
+    ir::Module unfused_m = fused_m;
+    const auto fused = pipeline::execute(fused_m, w.input, w.outputs,
+                                         /*profile=*/true, /*fuse=*/true);
+    const auto unfused = pipeline::execute(unfused_m, w.input, w.outputs,
+                                           /*profile=*/true, /*fuse=*/false);
+    EXPECT_EQ(fused.exit_code, unfused.exit_code);
+    EXPECT_EQ(fused.steps, unfused.steps);
+    EXPECT_EQ(fused.cycles, unfused.cycles);
+    EXPECT_EQ(fused.oob_loads, unfused.oob_loads);
+    EXPECT_EQ(fused.outputs, unfused.outputs);
+    EXPECT_EQ(profile_hash(fused_m), profile_hash(unfused_m))
+        << "per-instruction execution counts diverged";
+  }
+}
+
+TEST(FuseParity, SuiteExercisesEveryPatternFamily) {
+  FusionStats total;
+  for (const auto& w : wl::suite()) {
+    ir::Module m = fe::compile_benchc(w.source, w.name);
+    opt::canonicalize(m);
+    Machine machine(m);
+    const FusionStats& s = machine.fusion_stats();
+    total.cmp_branch += s.cmp_branch;
+    total.mul_add += s.mul_add;
+    total.const_alu += s.const_alu;
+    total.addr_mem += s.addr_mem;
+    total.load_alu += s.load_alu;
+    total.cvt_chain += s.cvt_chain;
+    total.add_br += s.add_br;
+    total.load_mul_add += s.load_mul_add;
+    total.imm_cmp_branch += s.imm_cmp_branch;
+  }
+  // The paper suite is the fusion tier's raison d'etre: every pattern
+  // family must fire somewhere in it, or the pattern is dead weight.
+  EXPECT_GT(total.cmp_branch, 0u);
+  EXPECT_GT(total.mul_add, 0u);
+  EXPECT_GT(total.const_alu, 0u);
+  EXPECT_GT(total.addr_mem, 0u);
+  EXPECT_GT(total.load_alu, 0u);
+  EXPECT_GT(total.cvt_chain, 0u);
+  EXPECT_GT(total.add_br, 0u);
+  EXPECT_GT(total.load_mul_add, 0u);
+  EXPECT_GT(total.imm_cmp_branch, 0u);
+  EXPECT_GT(total.pairs(), 0u);
+  EXPECT_GT(total.triples(), 0u);
+}
+
+// --- Fault parity: faults that land on fused followers ----------------------
+
+TEST(FuseFaultParity, StoreFaultOnFollowerMatchesOracle) {
+  // Add t,x,y; Store [t] fuses to AddStore with t wildly out of bounds:
+  // the store (the *follower*) faults.  The fused engine must report the
+  // same fault message and truncate exec_count at the same instruction as
+  // the unfused oracle (partial-superinstruction attribution).
+  ir::Module fused_m;
+  ir::Function fn;
+  fn.name = "main";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const auto x = b.emit_movi(0x7ffffffe);
+  const auto y = b.emit_movi(1);
+  const auto v = b.emit_movi(42);
+  const auto t = b.emit_binary(Opcode::Add, Type::I32, x, y);
+  b.emit_store(Type::I32, t, v);
+  b.emit_ret_value(v);
+  fused_m.functions.push_back(std::move(fn));
+  ir::Module unfused_m = fused_m;
+
+  // Confirm the store really is a fused follower in this module.
+  {
+    Program p = decode(fused_m);
+    const FusionResult r = fuse(p);
+    ASSERT_EQ(r.code[3].op, SimOp::AddStore);
+  }
+
+  std::string fused_what, unfused_what;
+  {
+    Machine machine(fused_m);
+    SimOptions options;
+    options.profile = true;
+    options.fuse = true;
+    try {
+      machine.run(options);
+      FAIL() << "fused store should have faulted";
+    } catch (const SimError& e) {
+      fused_what = e.what();
+    }
+  }
+  {
+    Machine machine(unfused_m);
+    SimOptions options;
+    options.profile = true;
+    options.fuse = false;
+    try {
+      machine.run(options);
+      FAIL() << "unfused store should have faulted";
+    } catch (const SimError& e) {
+      unfused_what = e.what();
+    }
+  }
+  EXPECT_EQ(fused_what, unfused_what);
+  EXPECT_EQ(profile_hash(fused_m), profile_hash(unfused_m))
+      << "fault-path exec_count truncation diverged";
+}
+
+TEST(FuseFaultParity, StepLimitSweepMatchesOracleAtEveryBudget) {
+  // Run the same program under every step budget 1..total-1.  Each budget
+  // faults at a different instruction — many of them mid-superinstruction,
+  // on a follower — and the fused engine must report the same message and
+  // the same truncated per-instruction counts as the oracle every time.
+  const char* source =
+      "int A[8];\n"
+      "int main() {\n"
+      "  int i; int s; s = 0;\n"
+      "  for (i = 0; i < 8; i++) { A[i] = i * 3 + 1; s = s + A[i] * 2; }\n"
+      "  return s;\n"
+      "}\n";
+  ir::Module fused_m = fe::compile_benchc(source, "sweep");
+  opt::canonicalize(fused_m);
+  ir::Module unfused_m = fused_m;
+  Machine fused(fused_m), unfused(unfused_m);
+
+  const std::uint64_t total = fused.run().steps;
+  ASSERT_GT(total, 0u);
+  SimOptions oracle;
+  oracle.fuse = false;
+  ASSERT_EQ(unfused.run(oracle).steps, total);
+
+  for (std::uint64_t budget = 1; budget < total; ++budget) {
+    clear_profile(fused_m);
+    clear_profile(unfused_m);
+    fused.reset_memory();
+    unfused.reset_memory();
+
+    SimOptions on;
+    on.max_steps = budget;
+    on.profile = true;
+    on.fuse = true;
+    SimOptions off = on;
+    off.fuse = false;
+
+    std::string fused_what, unfused_what;
+    try {
+      fused.run(on);
+      FAIL() << "fused run should exceed budget " << budget;
+    } catch (const SimError& e) {
+      fused_what = e.what();
+    }
+    try {
+      unfused.run(off);
+      FAIL() << "unfused run should exceed budget " << budget;
+    } catch (const SimError& e) {
+      unfused_what = e.what();
+    }
+    EXPECT_EQ(fused_what, unfused_what) << "budget " << budget;
+    EXPECT_EQ(profile_hash(fused_m), profile_hash(unfused_m))
+        << "exec_count truncation diverged at budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace asipfb::sim

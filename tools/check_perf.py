@@ -15,6 +15,15 @@ quantiles and other lower-is-better metrics):
 
     {"metrics": {...}, "ceilings": {"open_loop_p99_us": 1.5e5}}
 
+A third section, "ratios", holds floors that are checked at FACE VALUE —
+no tolerance scaling:
+
+    {"metrics": {...}, "ratios": {"fusion_ab_ratio": 1.5}}
+
+Ratio metrics are same-process A/B comparisons (e.g. fused vs unfused
+simulator throughput), so runner speed cancels out and the generous
+absolute-throughput tolerance would only mask a real regression.
+
 Path segments index objects by key and arrays by integer.  A measured
 metric below tolerance * baseline fails the gate, as does one above
 ceiling / tolerance; the tolerance is deliberately generous (default 0.5:
@@ -57,6 +66,7 @@ def check_artifact(measured_path: Path, baseline_path: Path,
         baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
         metrics = baseline["metrics"]
         ceilings = baseline.get("ceilings", {})
+        ratios = baseline.get("ratios", {})
     except (OSError, ValueError, KeyError) as ex:
         return [f"{baseline_path}: unreadable baseline ({ex})"]
 
@@ -89,6 +99,20 @@ def check_artifact(measured_path: Path, baseline_path: Path,
             errors.append(
                 f"{measured_path}: {path} = {value:.4g} is above "
                 f"{1 / tolerance:.3g}x baseline ceiling {float(ceiling):.4g}")
+
+    for path, floor in ratios.items():
+        try:
+            value = lookup(measured, path)
+        except (KeyError, IndexError, ValueError):
+            errors.append(f"{measured_path}: metric '{path}' missing")
+            continue
+        verdict = "ok" if value >= float(floor) else "FAIL"
+        print(f"  {verdict}  {path}: measured {value:.4g}, "
+              f"ratio floor {float(floor):.4g} (face value)")
+        if value < float(floor):
+            errors.append(
+                f"{measured_path}: {path} = {value:.4g} is below the "
+                f"face-value ratio floor {float(floor):.4g}")
     return errors
 
 
