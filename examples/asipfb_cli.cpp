@@ -14,10 +14,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "asip/extension.hpp"
+#include "cache/store.hpp"
 #include "chain/report.hpp"
 #include "ir/printer.hpp"
 #include "opt/ilp.hpp"
@@ -39,6 +41,7 @@ struct CliOptions {
   double asip_area = -1.0;
   bool dump_ir = false;
   bool fuse = sim::fuse_default();
+  std::string cache_dir;
   bool help = false;
   int corpus_count = 0;  ///< > 0 selects corpus mode (no input file needed).
   std::uint64_t corpus_seed = wl::CorpusSpec{}.seed;
@@ -77,6 +80,10 @@ void print_usage(std::FILE* out) {
                "  --no-fuse            simulate on the unfused interpreter tier\n"
                "                       (bit-identical to the default fused tier,\n"
                "                       just slower; also: ASIPFB_NO_FUSE env var)\n"
+               "  --cache-dir DIR      persistent artifact cache: profiled\n"
+               "                       baselines and analysis artifacts are read\n"
+               "                       from DIR when valid and written back after\n"
+               "                       cold computes (warm-starts repeated runs)\n"
                "\n"
                "corpus options:\n"
                "  --seed S             corpus master seed               (default %llu)\n",
@@ -125,6 +132,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.dump_ir = true;
     } else if (arg == "--no-fuse") {
       options.fuse = false;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.cache_dir = v;
     } else if (arg == "--corpus") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -147,7 +158,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
 /// optimized module computed for detection is reused by
 /// --coverage/--ilp/--dump-ir and the coverage behind --coverage is reused
 /// by --asip, instead of each flag re-running the pipeline.
-int run_file(const CliOptions& options) {
+int run_file(const CliOptions& options,
+             const std::shared_ptr<cache::Store>& store) {
   std::ifstream in(options.file);
   if (!in) {
     std::fprintf(stderr, "error: cannot open %s\n", options.file.c_str());
@@ -157,7 +169,8 @@ int run_file(const CliOptions& options) {
   buffer << in.rdbuf();
 
   pipeline::WorkloadInput input;
-  const pipeline::Session session(buffer.str(), options.file, input, options.fuse);
+  const pipeline::Session session(buffer.str(), options.file, input,
+                                  options.fuse, store);
   std::printf("%s: %llu dynamic operations, main returned %d\n\n",
               options.file.c_str(),
               static_cast<unsigned long long>(session.total_cycles()),
@@ -200,7 +213,8 @@ int run_file(const CliOptions& options) {
 }
 
 /// Corpus mode: generate, oracle-check, and analyze N scenarios.
-int run_corpus(const CliOptions& options) {
+int run_corpus(const CliOptions& options,
+               const std::shared_ptr<cache::Store>& store) {
   wl::CorpusSpec spec;
   spec.seed = options.corpus_seed;
   spec.count = static_cast<std::size_t>(options.corpus_count);
@@ -219,7 +233,8 @@ int run_corpus(const CliOptions& options) {
     FamilyRow& row = rows[std::string(wl::family_of(w.name))];
     ++row.scenarios;
     try {
-      const pipeline::Session session(w.source, w.name, w.input, options.fuse);
+      const pipeline::Session session(w.source, w.name, w.input, options.fuse,
+                                      store);
       auto module = session.prepared().module;  // Private copy for re-execution.
       const auto run = pipeline::execute(module, w.input, w.outputs,
                                          /*profile=*/false, options.fuse);
@@ -266,7 +281,27 @@ int main(int argc, char** argv) {
     return 0;
   }
   try {
-    return options.corpus_count > 0 ? run_corpus(options) : run_file(options);
+    std::shared_ptr<cache::Store> store;
+    if (!options.cache_dir.empty()) {
+      cache::StoreOptions store_options;
+      store_options.dir = options.cache_dir;
+      store = std::make_shared<cache::Store>(std::move(store_options));
+    }
+    const int rc = options.corpus_count > 0 ? run_corpus(options, store)
+                                            : run_file(options, store);
+    if (store != nullptr) {
+      const cache::StoreStats s = store->stats();
+      std::fprintf(stderr,
+                   "asipfb_cli: cache summary: dir=%s hits=%llu misses=%llu "
+                   "writes=%llu evictions=%llu corrupt=%llu\n",
+                   store->dir().c_str(),
+                   static_cast<unsigned long long>(s.hits),
+                   static_cast<unsigned long long>(s.misses),
+                   static_cast<unsigned long long>(s.writes),
+                   static_cast<unsigned long long>(s.evictions),
+                   static_cast<unsigned long long>(s.corrupt));
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

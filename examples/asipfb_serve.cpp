@@ -29,6 +29,7 @@
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "service/net.hpp"
@@ -55,6 +56,7 @@ struct ServeOptions {
 void print_usage(std::FILE* out) {
   std::fprintf(out,
                "usage: asipfb_serve [--workers N] [--queue N] [--latency]\n"
+               "                    [--cache-dir DIR]\n"
                "                    [--tcp PORT [--shards N] [--port-file F]\n"
                "                     [--idle-timeout MS]]\n"
                "\n"
@@ -74,6 +76,11 @@ void print_usage(std::FILE* out) {
                "  --queue N     queue capacity per shard (default 256)\n"
                "  --latency     include latency/uptime fields in output\n"
                "                (nondeterministic; off for diffable runs)\n"
+               "  --cache-dir DIR  persistent artifact cache: baselines and\n"
+               "                stage artifacts are read from DIR when valid\n"
+               "                and written back after cold computes, so a\n"
+               "                restarted (or replicated) service warm-starts;\n"
+               "                a summary line goes to stderr on exit\n"
                "  --tcp PORT    serve the protocol over TCP on 127.0.0.1:PORT\n"
                "                (0 picks an ephemeral port) instead of stdio;\n"
                "                runs until SIGINT/SIGTERM\n"
@@ -102,6 +109,10 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
       options.server.queue_capacity = static_cast<std::size_t>(std::atoi(v));
     } else if (arg == "--latency") {
       options.with_latency = true;
+    } else if (arg == "--cache-dir") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.server.cache_dir = v;
     } else if (arg == "--tcp") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -136,6 +147,25 @@ bool parse_args(int argc, char** argv, ServeOptions& options) {
   return true;
 }
 
+/// stderr summary of the artifact cache, printed at every exit path when a
+/// cache dir was configured.  Deliberately on stderr: stdout transcripts
+/// stay byte-stable, while the warm-restart CI smoke greps this line to
+/// assert the second run actually hit the cache.
+void print_cache_summary(const std::shared_ptr<cache::Store>& store,
+                         const service::Stats& stats) {
+  if (store == nullptr) return;
+  const cache::StoreStats s = store->stats();
+  std::fprintf(stderr,
+               "asipfb_serve: cache summary: dir=%s hits=%llu misses=%llu "
+               "writes=%llu evictions=%llu corrupt=%llu baselines_disk=%llu\n",
+               store->dir().c_str(), static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.misses),
+               static_cast<unsigned long long>(s.writes),
+               static_cast<unsigned long long>(s.evictions),
+               static_cast<unsigned long long>(s.corrupt),
+               static_cast<unsigned long long>(stats.baselines_disk));
+}
+
 /// TCP mode: Router (sharded service) + TcpServer, then park on sigwait
 /// until SIGINT/SIGTERM and shut both down gracefully.  Signals are
 /// blocked before any thread is spawned so every thread inherits the
@@ -150,7 +180,14 @@ int serve_tcp(const ServeOptions& options) {
   service::RouterOptions router_options;
   router_options.shards = options.shards;
   router_options.server = options.server;
-  service::Router router(router_options);
+  std::unique_ptr<service::Router> router_holder;
+  try {
+    router_holder = std::make_unique<service::Router>(router_options);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "asipfb_serve: %s\n", ex.what());
+    return 1;
+  }
+  service::Router& router = *router_holder;
 
   service::TcpServer::Options tcp_options;
   tcp_options.port = static_cast<std::uint16_t>(options.tcp_port);
@@ -183,6 +220,7 @@ int serve_tcp(const ServeOptions& options) {
   std::fprintf(stderr, "asipfb_serve: signal %d, shutting down\n", sig);
   tcp->stop();
   router.shutdown();
+  print_cache_summary(router.store(), router.stats());
   return 0;
 }
 
@@ -200,7 +238,14 @@ int main(int argc, char** argv) {
   }
   if (options.tcp) return serve_tcp(options);
 
-  service::Server server(options.server);
+  std::unique_ptr<service::Server> server_holder;
+  try {
+    server_holder = std::make_unique<service::Server>(options.server);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "asipfb_serve: %s\n", ex.what());
+    return 1;
+  }
+  service::Server& server = *server_holder;
   std::map<std::string, std::string> sources;  // `source`-bound programs.
   std::deque<std::future<service::Response>> pending;
 
@@ -289,9 +334,11 @@ int main(int argc, char** argv) {
       }
       case service::Command::Type::kQuit:
         drain();
+        print_cache_summary(server.store(), server.stats());
         return 0;
     }
   }
   drain();
+  print_cache_summary(server.store(), server.stats());
   return 0;
 }

@@ -1,0 +1,342 @@
+#include "cache/store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+namespace asipfb::cache {
+
+namespace {
+
+// Entry framing: everything before the payload that a reader validates.
+constexpr char kMagic[8] = {'A', 'S', 'F', 'B', 'C', 'A', 'C', 'H'};
+constexpr std::string_view kEntrySuffix = ".art";
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string frame_entry(Artifact kind, std::string_view engine_version,
+                        std::string_view payload) {
+  std::string out;
+  out.reserve(sizeof(kMagic) + 4 + 1 + 8 + engine_version.size() + 16 +
+              payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  put_u32(out, kFormatVersion);
+  out.push_back(static_cast<char>(kind));
+  put_u64(out, engine_version.size());
+  out.append(engine_version);
+  put_u64(out, payload.size());
+  put_u64(out, fnv1a(payload));
+  out.append(payload);
+  return out;
+}
+
+/// Whole-file read; nullopt on any I/O error (treated as a miss upstream).
+std::optional<std::string> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return bytes;
+}
+
+bool key_is_wellformed(std::string_view key) {
+  if (key.size() != 32) return false;
+  return std::all_of(key.begin(), key.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+std::atomic<std::uint64_t> g_temp_seq{0};
+
+}  // namespace
+
+Store::Store(StoreOptions options) : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  if (ec || !std::filesystem::is_directory(options_.dir)) {
+    throw std::runtime_error("cache::Store: cannot create directory '" +
+                             options_.dir.string() + "': " + ec.message());
+  }
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(options_.dir, ec)) {
+    std::error_code size_ec;
+    const auto size = entry.file_size(size_ec);
+    if (!size_ec) total += size;
+  }
+  approx_bytes_.store(total, std::memory_order_relaxed);
+}
+
+std::filesystem::path Store::entry_path(Artifact kind,
+                                        std::string_view key) const {
+  std::string name;
+  name.reserve(to_string(kind).size() + 1 + key.size() + kEntrySuffix.size());
+  name.append(to_string(kind));
+  name.push_back('-');
+  name.append(key);
+  name.append(kEntrySuffix);
+  return options_.dir / name;
+}
+
+std::optional<std::string> Store::load(Artifact kind, std::string_view key) {
+  const std::filesystem::path path = entry_path(kind, key);
+
+  // Validation failures mean bytes we wrote got damaged; plain absence or
+  // a different engine version is the expected shape of a cold cache.
+  enum class Outcome { kHit, kMiss, kCorrupt };
+  Outcome outcome = Outcome::kMiss;
+  std::optional<std::string> payload;
+
+  try {
+    std::optional<std::string> bytes = read_file(path);
+    if (bytes.has_value()) {
+      const std::string& b = *bytes;
+      std::size_t pos = 0;
+      const auto remaining = [&] { return b.size() - pos; };
+
+      outcome = Outcome::kCorrupt;  // Until every check below passes.
+      if (remaining() >= sizeof(kMagic) &&
+          std::memcmp(b.data(), kMagic, sizeof(kMagic)) == 0) {
+        pos += sizeof(kMagic);
+        if (remaining() >= 4 + 1) {
+          const std::uint32_t version = get_u32(b.data() + pos);
+          pos += 4;
+          const auto file_kind = static_cast<std::uint8_t>(b[pos]);
+          pos += 1;
+          if (version != kFormatVersion) {
+            outcome = Outcome::kMiss;  // Old format: versioned, not damaged.
+          } else if (file_kind == static_cast<std::uint8_t>(kind) &&
+                     remaining() >= 8) {
+            const std::uint64_t engine_len = get_u64(b.data() + pos);
+            pos += 8;
+            if (engine_len <= remaining()) {
+              const std::string_view engine(b.data() + pos,
+                                            static_cast<std::size_t>(engine_len));
+              pos += static_cast<std::size_t>(engine_len);
+              if (engine != options_.engine_version) {
+                outcome = Outcome::kMiss;  // Different engine: expected miss.
+              } else if (remaining() >= 16) {
+                const std::uint64_t payload_len = get_u64(b.data() + pos);
+                const std::uint64_t checksum = get_u64(b.data() + pos + 8);
+                pos += 16;
+                if (payload_len == remaining()) {
+                  const std::string_view body(b.data() + pos,
+                                              static_cast<std::size_t>(payload_len));
+                  if (fnv1a(body) == checksum) {
+                    payload.emplace(body);
+                    outcome = Outcome::kHit;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  } catch (...) {
+    outcome = Outcome::kCorrupt;
+    payload.reset();
+  }
+
+  std::error_code ec;
+  switch (outcome) {
+    case Outcome::kHit:
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      // LRU touch; best-effort (another process may have evicted it).
+      std::filesystem::last_write_time(
+          path, std::filesystem::file_time_type::clock::now(), ec);
+      break;
+    case Outcome::kCorrupt:
+      corrupt_.fetch_add(1, std::memory_order_relaxed);
+      std::filesystem::remove(path, ec);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Outcome::kMiss:
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  return payload;
+}
+
+void Store::save(Artifact kind, std::string_view key, std::string_view payload) {
+  try {
+    const std::string framed = frame_entry(kind, options_.engine_version, payload);
+    const std::filesystem::path final_path = entry_path(kind, key);
+
+    // Temp name unique across processes (pid) and threads (global seq);
+    // same directory as the entry so rename() cannot cross filesystems.
+    std::string temp_name = ".tmp-";
+    temp_name += std::to_string(::getpid());
+    temp_name += '-';
+    temp_name += std::to_string(g_temp_seq.fetch_add(1, std::memory_order_relaxed));
+    const std::filesystem::path temp_path = options_.dir / temp_name;
+
+    const int fd = ::open(temp_path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) return;
+    bool ok = true;
+    std::size_t written = 0;
+    while (written < framed.size()) {
+      const ssize_t n =
+          ::write(fd, framed.data() + written, framed.size() - written);
+      if (n <= 0) {
+        ok = false;
+        break;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (ok && options_.fsync && ::fsync(fd) != 0) ok = false;
+    ::close(fd);
+
+    std::error_code ec;
+    if (ok) {
+      std::filesystem::rename(temp_path, final_path, ec);
+      ok = !ec;
+    }
+    if (!ok) {
+      std::filesystem::remove(temp_path, ec);
+      return;
+    }
+    if (options_.fsync) {
+      // Make the rename itself durable: fsync the directory.
+      const int dir_fd = ::open(options_.dir.c_str(), O_RDONLY | O_DIRECTORY);
+      if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+      }
+    }
+
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    approx_bytes_.fetch_add(framed.size(), std::memory_order_relaxed);
+    if (approx_bytes_.load(std::memory_order_relaxed) > options_.max_bytes) {
+      evict_if_over_cap();
+    }
+  } catch (...) {
+    // Best-effort by contract: a failed save is just a future cold compute.
+  }
+}
+
+void Store::evict_if_over_cap() {
+  std::lock_guard<std::mutex> lock(evict_mutex_);
+  try {
+    struct OnDisk {
+      std::filesystem::path path;
+      std::filesystem::file_time_type mtime;
+      std::uint64_t size = 0;
+    };
+    std::vector<OnDisk> files;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(options_.dir, ec)) {
+      if (entry.path().filename().string().ends_with(kEntrySuffix)) {
+        std::error_code item_ec;
+        const auto size = entry.file_size(item_ec);
+        const auto mtime = entry.last_write_time(item_ec);
+        if (item_ec) continue;  // Concurrently evicted by another process.
+        files.push_back({entry.path(), mtime, size});
+        total += size;
+      }
+    }
+    // Rescan is the source of truth; the approx counter drifts when other
+    // processes share the directory.
+    approx_bytes_.store(total, std::memory_order_relaxed);
+    if (total <= options_.max_bytes) return;
+
+    std::sort(files.begin(), files.end(),
+              [](const OnDisk& a, const OnDisk& b) { return a.mtime < b.mtime; });
+    for (const OnDisk& victim : files) {
+      if (total <= options_.max_bytes) break;
+      std::error_code rm_ec;
+      if (std::filesystem::remove(victim.path, rm_ec) && !rm_ec) {
+        total -= victim.size;
+        approx_bytes_.fetch_sub(victim.size, std::memory_order_relaxed);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  } catch (...) {
+    // Eviction is best-effort; an oversized cache is not an error.
+  }
+}
+
+StoreStats Store::stats() const {
+  StoreStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.corrupt = corrupt_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<EntryInfo> Store::entries() const {
+  std::vector<EntryInfo> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.ends_with(kEntrySuffix)) continue;
+    const std::string_view stem(name.data(),
+                                name.size() - kEntrySuffix.size());
+    const std::size_t dash = stem.find('-');
+    if (dash == std::string_view::npos) continue;
+    const std::string_view tag = stem.substr(0, dash);
+    const std::string_view key = stem.substr(dash + 1);
+    if (!key_is_wellformed(key)) continue;
+    bool matched = false;
+    EntryInfo info;
+    for (std::size_t k = 0; k < kArtifactCount; ++k) {
+      const auto kind = static_cast<Artifact>(k);
+      if (tag == to_string(kind)) {
+        info.kind = kind;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) continue;
+    info.key = std::string(key);
+    std::error_code size_ec;
+    const auto size = entry.file_size(size_ec);
+    if (!size_ec) info.payload_bytes = size;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(), [](const EntryInfo& a, const EntryInfo& b) {
+    return a.key < b.key || (a.key == b.key && a.kind < b.kind);
+  });
+  return out;
+}
+
+}  // namespace asipfb::cache

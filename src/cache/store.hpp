@@ -1,0 +1,124 @@
+// Persistent content-addressed artifact store.
+//
+// One directory holds one entry per (artifact kind, content key): the file
+// name is `<kind>-<key>.art`, the content is a framed payload produced by
+// cache/serialize.hpp.  Entries are immutable once written — a key change
+// is the only way content changes — which is what makes the store safe to
+// share between threads, Store instances, and whole processes:
+//
+//   * Writes go to a private temp file in the same directory and are
+//     published with rename(2), which is atomic on POSIX.  Two replicas
+//     racing on the same key both write valid bytes for the same value
+//     (serialization is canonical), so whichever rename lands last is
+//     indistinguishable from whichever landed first.  A crash mid-write
+//     leaves only a temp file, never a half-written entry.
+//   * Reads validate a framing header (magic, format version, artifact
+//     kind, engine-version string, payload length, FNV-1a checksum).
+//     Anything malformed — truncation, bit flips, a different engine
+//     version — is a counted miss and the caller recomputes cold; a
+//     corrupt file is additionally unlinked so it cannot keep costing
+//     validation work.  load() never throws and never returns bad bytes.
+//   * An LRU-ish size cap: hits refresh the entry's mtime, and when the
+//     directory outgrows StoreOptions::max_bytes the oldest-mtime entries
+//     are evicted until it fits.  Eviction is best-effort and safe against
+//     concurrent processes doing the same.
+//
+// kEngineVersion below is the single invalidation knob: it is baked into
+// both the content keys (cache::baseline_key) and every entry header, so
+// bumping it makes every existing entry a miss.  Bump it whenever any
+// stage's computed artifacts could change — compiler, optimizer, detector,
+// coverage, selection, or the serialization format itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/serialize.hpp"
+
+namespace asipfb::cache {
+
+/// The engine/ABI version every key and entry header carries.  Bump this
+/// one string to invalidate every cached artifact after a change to any
+/// pipeline stage or to the serialization format.
+inline constexpr std::string_view kEngineVersion = "asipfb-engine-pr8.1";
+
+struct StoreOptions {
+  std::filesystem::path dir;                     ///< Created if missing.
+  std::uint64_t max_bytes = 256ull * 1024 * 1024;  ///< LRU-ish eviction cap.
+  bool fsync = false;  ///< fsync entry + directory on publish (crash durability).
+  std::string engine_version = std::string(kEngineVersion);
+};
+
+/// Monotonic counters, readable while other threads use the store.
+struct StoreStats {
+  std::uint64_t hits = 0;       ///< load() returned a validated payload.
+  std::uint64_t misses = 0;     ///< load() found nothing usable (corrupt included).
+  std::uint64_t writes = 0;     ///< save() published an entry.
+  std::uint64_t evictions = 0;  ///< Entries removed by the size cap.
+  std::uint64_t corrupt = 0;    ///< Malformed entries detected (and unlinked).
+};
+
+/// One entry as seen on disk (introspection for tests / tooling).
+struct EntryInfo {
+  Artifact kind = Artifact::kPrepared;
+  std::string key;               ///< 32-hex content key.
+  std::uint64_t payload_bytes = 0;
+};
+
+class Store {
+ public:
+  /// Opens (creating if needed) the cache directory.  Throws
+  /// std::runtime_error if the directory cannot be created — callers wire
+  /// the cache at startup and want that loud.
+  explicit Store(StoreOptions options);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Returns the validated payload for (kind, key), or nullopt on any
+  /// miss: absent entry, truncated/corrupt file (unlinked + counted),
+  /// wrong engine version.  Refreshes the entry's mtime on a hit.
+  /// Never throws.
+  [[nodiscard]] std::optional<std::string> load(Artifact kind,
+                                                std::string_view key);
+
+  /// Publishes payload under (kind, key) via temp-file + rename, then
+  /// enforces the size cap.  Best-effort: any I/O failure is swallowed
+  /// (the cache is an accelerator, not a system of record).  Never throws.
+  void save(Artifact kind, std::string_view key, std::string_view payload);
+
+  [[nodiscard]] StoreStats stats() const;
+
+  /// Every well-named entry currently on disk (no payload validation).
+  [[nodiscard]] std::vector<EntryInfo> entries() const;
+
+  [[nodiscard]] const std::filesystem::path& dir() const { return options_.dir; }
+  [[nodiscard]] std::string_view engine_version() const {
+    return options_.engine_version;
+  }
+
+  /// Path an entry for (kind, key) would occupy (exposed for tests that
+  /// inject corruption).
+  [[nodiscard]] std::filesystem::path entry_path(Artifact kind,
+                                                 std::string_view key) const;
+
+ private:
+  void evict_if_over_cap();
+
+  StoreOptions options_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> corrupt_{0};
+  std::atomic<std::uint64_t> approx_bytes_{0};  ///< Rescanned when cap trips.
+  std::mutex evict_mutex_;
+};
+
+}  // namespace asipfb::cache

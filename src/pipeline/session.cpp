@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cache/store.hpp"
 #include "ir/verifier.hpp"
 #include "workloads/suite.hpp"
 
@@ -134,18 +135,59 @@ std::string extension_key(opt::OptLevel level, const asip::SelectionOptions& s,
 // --- Session ----------------------------------------------------------------
 
 Session::Session(std::string_view source, std::string name,
-                 const WorkloadInput& input, bool fuse)
-    : prepared_(prepare(source, std::move(name), input, fuse)) {}
+                 const WorkloadInput& input, bool fuse,
+                 std::shared_ptr<cache::Store> store)
+    : Session(source, std::move(name), std::vector<WorkloadInput>{input}, fuse,
+              std::move(store)) {}
 
 Session::Session(std::string_view source, std::string name,
-                 const std::vector<WorkloadInput>& inputs, bool fuse)
-    : prepared_(prepare_multi(source, std::move(name), inputs, fuse)) {}
+                 const std::vector<WorkloadInput>& inputs, bool fuse,
+                 std::shared_ptr<cache::Store> store)
+    : store_(std::move(store)) {
+  if (store_ != nullptr) {
+    baseline_key_ =
+        cache::baseline_key(store_->engine_version(), name, source, inputs);
+    if (std::optional<std::string> payload =
+            store_->load(cache::Artifact::kPrepared, baseline_key_)) {
+      try {
+        PreparedProgram loaded = cache::deserialize_prepared(*payload);
+        // The key covers the name, so a mismatch means a hash collision or
+        // an undetected corruption — recompute rather than trust it.
+        if (loaded.module.name == name) {
+          prepared_ = std::move(loaded);
+          baseline_from_disk_ = true;
+          disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const cache::CacheError&) {
+        // Frame validated but payload undecodable: treated as a miss.
+      }
+    }
+  }
+  if (!baseline_from_disk_) {
+    if (store_ != nullptr) disk_misses_.fetch_add(1, std::memory_order_relaxed);
+    prepared_ = prepare_multi(source, std::move(name), inputs, fuse);
+    if (store_ != nullptr) {
+      store_->save(cache::Artifact::kPrepared, baseline_key_,
+                   cache::serialize(prepared_));
+    }
+  }
+}
 
-Session::Session(PreparedProgram prepared) : prepared_(std::move(prepared)) {}
+Session::Session(PreparedProgram prepared, std::shared_ptr<cache::Store> store)
+    : prepared_(std::move(prepared)), store_(std::move(store)) {
+  if (store_ != nullptr) {
+    // No source/inputs to key on: address the adopted baseline by its own
+    // content, which is exactly what the stage artifacts depend on.
+    baseline_key_ = cache::content_hash(
+        {store_->engine_version(), "adopted", cache::serialize(prepared_)});
+  }
+}
 
 template <typename T, typename Fn>
 const T& Session::memoize(StageCache<T>& cache, const std::string& key,
-                          std::atomic<std::uint64_t>& runs, Fn&& compute) const {
+                          std::atomic<std::uint64_t>& runs,
+                          std::atomic<std::uint64_t>& stage_hits,
+                          Fn&& compute) const {
   Slot<T>* slot;
   {
     const std::lock_guard<std::mutex> lock(cache.mu);
@@ -167,19 +209,52 @@ const T& Session::memoize(StageCache<T>& cache, const std::string& key,
       slot->error = "pipeline stage failed";
     }
   });
-  if (!ran) hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!ran) stage_hits.fetch_add(1, std::memory_order_relaxed);
   if (!slot->value.has_value()) throw std::runtime_error(slot->error);
   return *slot->value;
+}
+
+template <typename T, typename Load, typename Fn>
+T Session::compute_via_store(cache::Artifact kind,
+                             const std::string& option_key, Load&& load,
+                             Fn&& compute) const {
+  if (store_ == nullptr) return compute();
+  // The disk consult lives *inside* the memo slot's one-time computation:
+  // memo runs/hits stay a pure function of the query mix whether the store
+  // is cold or warm, and a latched error is never written back to disk
+  // (a throwing compute() propagates before save()).
+  const std::string key = cache::stage_key(baseline_key_, kind, option_key);
+  if (std::optional<std::string> payload = store_->load(kind, key)) {
+    try {
+      T artifact = load(*payload);
+      disk_hits_.fetch_add(1, std::memory_order_relaxed);
+      return artifact;
+    } catch (const cache::CacheError&) {
+      // Frame validated but payload undecodable: fall through to cold.
+    }
+  }
+  disk_misses_.fetch_add(1, std::memory_order_relaxed);
+  T artifact = compute();
+  store_->save(kind, key, cache::serialize(artifact));
+  return artifact;
 }
 
 const ir::Module& Session::optimized(opt::OptLevel level,
                                      const opt::OptimizeOptions& options) const {
   const opt::OptimizeOptions norm = normalize(level, options);
-  return memoize(optimized_, optimize_key(level, norm), optimize_runs_, [&] {
-    ir::Module variant = prepared_.module;  // Value copy, profile included.
-    opt::optimize(variant, level, norm);
-    ir::verify_or_throw(variant);
-    return variant;
+  const std::string key = optimize_key(level, norm);
+  return memoize(optimized_, key, optimize_runs_, optimize_hits_, [&] {
+    return compute_via_store<ir::Module>(
+        cache::Artifact::kOptimized, key,
+        [](std::string_view payload) {
+          return cache::deserialize_module(payload);
+        },
+        [&] {
+          ir::Module variant = prepared_.module;  // Value copy, profile included.
+          opt::optimize(variant, level, norm);
+          ir::verify_or_throw(variant);
+          return variant;
+        });
   });
 }
 
@@ -188,12 +263,18 @@ const chain::DetectionResult& Session::detection(
     const opt::OptimizeOptions& options) const {
   const opt::OptimizeOptions opt_norm = normalize(level, options);
   const chain::DetectorOptions det_norm = normalize(level, detector);
-  return memoize(detections_, detection_key(level, det_norm, opt_norm),
-                 detect_runs_, [&]() {
-                   return chain::detect_sequences(optimized(level, opt_norm),
-                                                  det_norm,
-                                                  prepared_.total_cycles);
-                 });
+  const std::string key = detection_key(level, det_norm, opt_norm);
+  return memoize(detections_, key, detect_runs_, detect_hits_, [&] {
+    return compute_via_store<chain::DetectionResult>(
+        cache::Artifact::kDetection, key,
+        [](std::string_view payload) {
+          return cache::deserialize_detection(payload);
+        },
+        [&] {
+          return chain::detect_sequences(optimized(level, opt_norm), det_norm,
+                                         prepared_.total_cycles);
+        });
+  });
 }
 
 const chain::CoverageResult& Session::coverage(
@@ -201,12 +282,18 @@ const chain::CoverageResult& Session::coverage(
     const opt::OptimizeOptions& options) const {
   const opt::OptimizeOptions opt_norm = normalize(level, options);
   const chain::CoverageOptions cov_norm = normalize(level, coverage);
-  return memoize(coverages_, coverage_key(level, cov_norm, opt_norm),
-                 coverage_runs_, [&]() {
-                   return chain::coverage_analysis(optimized(level, opt_norm),
-                                                   cov_norm,
-                                                   prepared_.total_cycles);
-                 });
+  const std::string key = coverage_key(level, cov_norm, opt_norm);
+  return memoize(coverages_, key, coverage_runs_, coverage_hits_, [&] {
+    return compute_via_store<chain::CoverageResult>(
+        cache::Artifact::kCoverage, key,
+        [](std::string_view payload) {
+          return cache::deserialize_coverage(payload);
+        },
+        [&] {
+          return chain::coverage_analysis(optimized(level, opt_norm), cov_norm,
+                                          prepared_.total_cycles);
+        });
+  });
 }
 
 const asip::ExtensionProposal& Session::extension(
@@ -215,14 +302,19 @@ const asip::ExtensionProposal& Session::extension(
     const opt::OptimizeOptions& options) const {
   const opt::OptimizeOptions opt_norm = normalize(level, options);
   const chain::CoverageOptions cov_norm = normalize(level, cov);
-  return memoize(
-      extensions_,
-      extension_key(level, selection, model, cov_norm, opt_norm),
-      extension_runs_, [&]() {
-        return asip::propose_extensions(coverage(level, cov_norm, opt_norm),
-                                        prepared_.total_cycles, model,
-                                        selection);
-      });
+  const std::string key = extension_key(level, selection, model, cov_norm, opt_norm);
+  return memoize(extensions_, key, extension_runs_, extension_hits_, [&] {
+    return compute_via_store<asip::ExtensionProposal>(
+        cache::Artifact::kExtension, key,
+        [](std::string_view payload) {
+          return cache::deserialize_extension(payload);
+        },
+        [&] {
+          return asip::propose_extensions(coverage(level, cov_norm, opt_norm),
+                                          prepared_.total_cycles, model,
+                                          selection);
+        });
+  });
 }
 
 void Session::clear() {
@@ -242,7 +334,13 @@ Session::Stats Session::stats() const {
   s.detect_runs = detect_runs_.load(std::memory_order_relaxed);
   s.coverage_runs = coverage_runs_.load(std::memory_order_relaxed);
   s.extension_runs = extension_runs_.load(std::memory_order_relaxed);
-  s.hits = hits_.load(std::memory_order_relaxed);
+  s.optimize_hits = optimize_hits_.load(std::memory_order_relaxed);
+  s.detect_hits = detect_hits_.load(std::memory_order_relaxed);
+  s.coverage_hits = coverage_hits_.load(std::memory_order_relaxed);
+  s.extension_hits = extension_hits_.load(std::memory_order_relaxed);
+  s.hits = s.optimize_hits + s.detect_hits + s.coverage_hits + s.extension_hits;
+  s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+  s.disk_misses = disk_misses_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -266,7 +364,11 @@ std::shared_ptr<Session> SessionPool::get(const std::string& key,
   std::call_once(entry.once, [&] {
     entry.source = std::string(source);  // bind key to source even on failure
     try {
-      entry.session = std::make_shared<Session>(source, key, input);
+      entry.session = std::make_shared<Session>(source, key, input,
+                                                sim::fuse_default(), store());
+      entry.provenance = entry.session->baseline_from_disk()
+                             ? Provenance::kDiskCache
+                             : Provenance::kComputed;
       entry.ready.store(true, std::memory_order_release);
     } catch (const std::exception& ex) {
       entry.error = ex.what();
@@ -315,10 +417,59 @@ std::shared_ptr<Session> SessionPool::put(const std::string& key,
     } else {
       entry.source = std::string(source);
     }
-    entry.session = std::make_shared<Session>(std::move(prepared));
+    entry.session = std::make_shared<Session>(std::move(prepared), store());
+    entry.provenance = Provenance::kAdopted;
     entry.ready.store(true, std::memory_order_release);
   });
   return entry.session;
+}
+
+void SessionPool::set_store(std::shared_ptr<cache::Store> store) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<cache::Store> SessionPool::store() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return store_;
+}
+
+SessionPool::PoolStats SessionPool::stats() const {
+  // Snapshot the entries under the lock, read the Sessions outside it:
+  // Session::stats() is lock-free but there is no reason to serialize it
+  // against concurrent get()s.
+  std::vector<std::shared_ptr<Entry>> snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, entry] : entries_) snapshot.push_back(entry);
+  }
+  PoolStats ps;
+  for (const std::shared_ptr<Entry>& entry : snapshot) {
+    // `ready` (acquire) orders the provenance + session writes below it.
+    if (entry == nullptr || !entry->ready.load(std::memory_order_acquire)) {
+      continue;
+    }
+    ++ps.sessions;
+    switch (entry->provenance) {
+      case Provenance::kComputed: ++ps.computed; break;
+      case Provenance::kAdopted: ++ps.adopted; break;
+      case Provenance::kDiskCache: ++ps.disk_cache; break;
+    }
+    const Session::Stats s = entry->session->stats();
+    ps.stages.optimize_runs += s.optimize_runs;
+    ps.stages.detect_runs += s.detect_runs;
+    ps.stages.coverage_runs += s.coverage_runs;
+    ps.stages.extension_runs += s.extension_runs;
+    ps.stages.optimize_hits += s.optimize_hits;
+    ps.stages.detect_hits += s.detect_hits;
+    ps.stages.coverage_hits += s.coverage_hits;
+    ps.stages.extension_hits += s.extension_hits;
+    ps.stages.hits += s.hits;
+    ps.stages.disk_hits += s.disk_hits;
+    ps.stages.disk_misses += s.disk_misses;
+  }
+  return ps;
 }
 
 std::size_t SessionPool::size() const {

@@ -46,24 +46,37 @@
 #include "opt/optimizer.hpp"
 #include "pipeline/driver.hpp"
 
+namespace asipfb::cache {
+class Store;
+enum class Artifact : std::uint8_t;
+}  // namespace asipfb::cache
+
 namespace asipfb::pipeline {
 
 class Session {
  public:
   /// Compile + canonicalize + profile `source` (driver prepare()); throws
   /// on compile/verify/simulation failure.  `fuse` selects the simulator
-  /// tier for the profiling run (bit-identical either way).
+  /// tier for the profiling run (bit-identical either way).  With `store`,
+  /// the profiled baseline is loaded from disk when a valid entry exists
+  /// (skipping compile + profile entirely) and written back after a cold
+  /// preparation; every stage memo slot likewise consults disk inside its
+  /// one-time computation.
   Session(std::string_view source, std::string name, const WorkloadInput& input,
-          bool fuse = sim::fuse_default());
+          bool fuse = sim::fuse_default(),
+          std::shared_ptr<cache::Store> store = nullptr);
 
   /// As above, profiling over several sample data sets (prepare_multi()).
   Session(std::string_view source, std::string name,
           const std::vector<WorkloadInput>& inputs,
-          bool fuse = sim::fuse_default());
+          bool fuse = sim::fuse_default(),
+          std::shared_ptr<cache::Store> store = nullptr);
 
   /// Adopts an already-prepared baseline (no re-simulation).  The artifact
-  /// caches start empty.
-  explicit Session(PreparedProgram prepared);
+  /// caches start empty.  With `store`, stage artifacts still consult and
+  /// populate disk, keyed by the adopted module's content.
+  explicit Session(PreparedProgram prepared,
+                   std::shared_ptr<cache::Store> store = nullptr);
 
   // One handle per workload; artifacts hand out interior references.
   Session(const Session&) = delete;
@@ -105,18 +118,46 @@ class Session {
   /// counters keep accumulating across clears.
   void clear();
 
-  /// Stage-invocation counters: `*_runs` count actual computations (cache
-  /// misses), `hits` counts queries served from cache.  Tests pin the
-  /// "repeated query performs zero re-optimization/re-detection" contract
-  /// with these.
+  /// Stage-invocation counters: `*_runs` count actual computations (memo
+  /// misses), `*_hits` count queries served from the in-memory memo, and
+  /// `hits` is their sum (the legacy aggregate).  Tests pin the "repeated
+  /// query performs zero re-optimization/re-detection" contract with these.
+  /// All of them are warmth-dependent when a store is attached: a
+  /// disk-cache hit for a downstream artifact (detection, coverage,
+  /// extension) returns before the compute lambda ever queries the
+  /// upstream stages it depends on, so a warm run records fewer
+  /// optimize/coverage runs and hits than the same query mix cold.
+  /// Without a store they are a pure function of the query mix.
+  ///
+  /// `disk_hits`/`disk_misses` count artifact-store consults that produced
+  /// (or failed to produce) a usable artifact, baseline included.
   struct Stats {
     std::uint64_t optimize_runs = 0;
     std::uint64_t detect_runs = 0;
     std::uint64_t coverage_runs = 0;
     std::uint64_t extension_runs = 0;
+    std::uint64_t optimize_hits = 0;
+    std::uint64_t detect_hits = 0;
+    std::uint64_t coverage_hits = 0;
+    std::uint64_t extension_hits = 0;
     std::uint64_t hits = 0;
+    std::uint64_t disk_hits = 0;
+    std::uint64_t disk_misses = 0;
   };
   [[nodiscard]] Stats stats() const;
+
+  /// True when the profiled baseline came from the artifact store rather
+  /// than a cold compile + profile.
+  [[nodiscard]] bool baseline_from_disk() const { return baseline_from_disk_; }
+
+  /// The content key the baseline is cached under (empty without a store).
+  [[nodiscard]] const std::string& baseline_cache_key() const {
+    return baseline_key_;
+  }
+
+  [[nodiscard]] const std::shared_ptr<cache::Store>& store() const {
+    return store_;
+  }
 
  private:
   /// One memoization slot: call_once guards the computation, the optional
@@ -138,9 +179,20 @@ class Session {
 
   template <typename T, typename Fn>
   const T& memoize(StageCache<T>& cache, const std::string& key,
-                   std::atomic<std::uint64_t>& runs, Fn&& compute) const;
+                   std::atomic<std::uint64_t>& runs,
+                   std::atomic<std::uint64_t>& stage_hits, Fn&& compute) const;
+
+  /// Disk-side of one memo computation: try (deserialize ∘ load), fall
+  /// back to `compute`, write back what was computed.  Only ever called
+  /// inside a call_once body, so it runs at most once per memo slot.
+  template <typename T, typename Load, typename Fn>
+  T compute_via_store(cache::Artifact kind, const std::string& option_key,
+                      Load&& load, Fn&& compute) const;
 
   PreparedProgram prepared_;
+  std::shared_ptr<cache::Store> store_;
+  std::string baseline_key_;  ///< Content key on disk; empty without store.
+  bool baseline_from_disk_ = false;
 
   mutable StageCache<ir::Module> optimized_;
   mutable StageCache<chain::DetectionResult> detections_;
@@ -151,7 +203,12 @@ class Session {
   mutable std::atomic<std::uint64_t> detect_runs_{0};
   mutable std::atomic<std::uint64_t> coverage_runs_{0};
   mutable std::atomic<std::uint64_t> extension_runs_{0};
-  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> optimize_hits_{0};
+  mutable std::atomic<std::uint64_t> detect_hits_{0};
+  mutable std::atomic<std::uint64_t> coverage_hits_{0};
+  mutable std::atomic<std::uint64_t> extension_hits_{0};
+  mutable std::atomic<std::uint64_t> disk_hits_{0};
+  mutable std::atomic<std::uint64_t> disk_misses_{0};
 };
 
 /// Thread-safe directory of Sessions keyed by workload name: the shared
@@ -164,6 +221,15 @@ class Session {
 /// std::invalid_argument instead of silently serving the wrong program.
 class SessionPool {
  public:
+  /// Where a pool entry's baseline came from — computed cold, adopted via
+  /// put(), or loaded from the artifact store.  Surfaced through stats()
+  /// so warm-start behavior is observable (and testable) per entry.
+  enum class Provenance : std::uint8_t {
+    kComputed,   ///< Cold compile + profile in this process.
+    kAdopted,    ///< put() handed us an already-prepared baseline.
+    kDiskCache,  ///< Loaded from the persistent artifact store.
+  };
+
   /// Prepare (or fetch) by explicit source + input, under `key`.
   std::shared_ptr<Session> get(const std::string& key, std::string_view source,
                                const WorkloadInput& input);
@@ -185,6 +251,25 @@ class SessionPool {
   /// Number of successfully prepared Sessions currently pooled.
   [[nodiscard]] std::size_t size() const;
 
+  /// Installs (or removes, with nullptr) the persistent artifact store
+  /// consulted by Sessions this pool prepares *after* the call.  Existing
+  /// entries are unaffected — install before the first get() for a fully
+  /// warm-startable pool.
+  void set_store(std::shared_ptr<cache::Store> store);
+  [[nodiscard]] std::shared_ptr<cache::Store> store() const;
+
+  /// Pool-level observability: baseline provenance of the ready entries
+  /// plus every Session's stage/disk counters summed.  `sessions` counts
+  /// the entries aggregated (== size()).
+  struct PoolStats {
+    std::uint64_t sessions = 0;
+    std::uint64_t computed = 0;
+    std::uint64_t adopted = 0;
+    std::uint64_t disk_cache = 0;
+    Session::Stats stages;  ///< Summed over all ready Sessions.
+  };
+  [[nodiscard]] PoolStats stats() const;
+
   /// Drops every entry (including latched failures).  Sessions still held
   /// via shared_ptr stay alive; the pool just forgets them.  Safe against
   /// concurrent get()/put(): entries are reference-counted, so an in-flight
@@ -204,11 +289,13 @@ class SessionPool {
     std::atomic<bool> ready{false};  ///< Set (release) once `session` is filled.
     std::string source;              ///< Source text bound to this key.
     std::string error;               ///< Latched failure; rethrown on later gets.
+    Provenance provenance = Provenance::kComputed;  ///< Written before `ready`.
   };
 
   std::shared_ptr<Entry> entry_for(const std::string& key);
 
   mutable std::mutex mu_;
+  std::shared_ptr<cache::Store> store_;  ///< Guarded by mu_.
   /// Entries are shared_ptr-held so clear() only detaches them: a thread
   /// mid-call_once on an entry keeps it alive and finishes safely even if
   /// the pool has already forgotten the key (service-churn contract,

@@ -242,7 +242,29 @@ std::string render_stats(const Stats& stats, bool with_latency) {
     json.member(to_string(static_cast<Kind>(k)), stats.completed_by_kind[k]);
   }
   if (with_latency) {
-    json.member("uptime_seconds", stats.uptime_seconds)
+    // Stage memo and warm-start counters share the nondeterministic
+    // section with the latency fields: a disk-cache hit for a downstream
+    // artifact short-circuits the upstream stages it would otherwise have
+    // queried (a warm detection never touches optimize), so every one of
+    // these depends on the state of the artifact store, not just on the
+    // completed request mix — they must stay out of byte-diffed output.
+    json.member("optimize_runs", stats.stage_optimize_runs)
+        .member("detect_runs", stats.stage_detect_runs)
+        .member("coverage_runs", stats.stage_coverage_runs)
+        .member("extension_runs", stats.stage_extension_runs)
+        .member("stage_hits", stats.stage_hits)
+        .member("sessions", stats.sessions)
+        .member("baselines_computed", stats.baselines_computed)
+        .member("baselines_adopted", stats.baselines_adopted)
+        .member("baselines_disk", stats.baselines_disk)
+        .member("disk_hits", stats.disk_hits)
+        .member("disk_misses", stats.disk_misses)
+        .member("store_hits", stats.store_hits)
+        .member("store_misses", stats.store_misses)
+        .member("store_writes", stats.store_writes)
+        .member("store_evictions", stats.store_evictions)
+        .member("store_corrupt", stats.store_corrupt)
+        .member("uptime_seconds", stats.uptime_seconds)
         .member("p50_latency_us", stats.p50_latency_us)
         .member("p99_latency_us", stats.p99_latency_us)
         .member("p999_latency_us", stats.p999_latency_us)

@@ -41,6 +41,14 @@ Router::Router(RouterOptions options) {
   if (options.virtual_nodes == 0) {
     throw std::invalid_argument("Router virtual_nodes must be >= 1");
   }
+  if (options.server.store == nullptr && !options.server.cache_dir.empty()) {
+    // One Store shared by every shard: the artifact cache is keyed by
+    // content, so cross-shard sharing is safe, and a single instance keeps
+    // the hit/miss/write counters process-wide.
+    cache::StoreOptions store_options;
+    store_options.dir = options.server.cache_dir;
+    options.server.store = std::make_shared<cache::Store>(std::move(store_options));
+  }
   shards_.reserve(options.shards);
   ring_.reserve(options.shards * options.virtual_nodes);
   for (std::uint32_t s = 0; s < options.shards; ++s) {
@@ -113,6 +121,24 @@ Stats Router::stats() const {
       total.completed_by_kind[k] += s.completed_by_kind[k];
     }
     total.queue_depth += s.queue_depth;
+    total.stage_optimize_runs += s.stage_optimize_runs;
+    total.stage_detect_runs += s.stage_detect_runs;
+    total.stage_coverage_runs += s.stage_coverage_runs;
+    total.stage_extension_runs += s.stage_extension_runs;
+    total.stage_hits += s.stage_hits;
+    total.sessions += s.sessions;
+    total.baselines_computed += s.baselines_computed;
+    total.baselines_adopted += s.baselines_adopted;
+    total.baselines_disk += s.baselines_disk;
+    total.disk_hits += s.disk_hits;
+    total.disk_misses += s.disk_misses;
+    // store_* are process-wide (shards share one Store), so every shard
+    // reports the same values — max, not sum, avoids N-fold counting.
+    total.store_hits = std::max(total.store_hits, s.store_hits);
+    total.store_misses = std::max(total.store_misses, s.store_misses);
+    total.store_writes = std::max(total.store_writes, s.store_writes);
+    total.store_evictions = std::max(total.store_evictions, s.store_evictions);
+    total.store_corrupt = std::max(total.store_corrupt, s.store_corrupt);
     total.uptime_seconds = std::max(total.uptime_seconds, s.uptime_seconds);
     merged.merge(snap.histogram);
   }

@@ -68,6 +68,11 @@ class Router {
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] Server& shard(std::size_t index) { return *shards_[index]; }
 
+  /// The artifact store every shard shares (null without a cache dir).
+  [[nodiscard]] const std::shared_ptr<cache::Store>& store() const {
+    return shards_.front()->store();
+  }
+
   /// Total workers across shards (the `ping` line's "workers" field, so a
   /// 4-shard x 1-worker deployment reports the same as 1x4).
   [[nodiscard]] unsigned workers() const;

@@ -43,6 +43,12 @@ Server::Server(ServerOptions options) : options_(std::move(options)) {
     owned_pool_ = std::make_unique<pipeline::SessionPool>();
     pool_ = owned_pool_.get();
   }
+  if (options_.store == nullptr && !options_.cache_dir.empty()) {
+    cache::StoreOptions store_options;
+    store_options.dir = options_.cache_dir;
+    options_.store = std::make_shared<cache::Store>(std::move(store_options));
+  }
+  if (options_.store != nullptr) pool_->set_store(options_.store);
   started_ = Clock::now();
   unsigned n = options_.workers != 0 ? options_.workers
                                      : std::thread::hardware_concurrency();
@@ -210,6 +216,28 @@ Server::Snapshot Server::snapshot() const {
         completed_by_kind_[k].load(std::memory_order_relaxed);
   }
   s.queue_depth = queue_depth();
+
+  const pipeline::SessionPool::PoolStats ps = pool_->stats();
+  s.stage_optimize_runs = ps.stages.optimize_runs;
+  s.stage_detect_runs = ps.stages.detect_runs;
+  s.stage_coverage_runs = ps.stages.coverage_runs;
+  s.stage_extension_runs = ps.stages.extension_runs;
+  s.stage_hits = ps.stages.hits;
+  s.sessions = ps.sessions;
+  s.baselines_computed = ps.computed;
+  s.baselines_adopted = ps.adopted;
+  s.baselines_disk = ps.disk_cache;
+  s.disk_hits = ps.stages.disk_hits;
+  s.disk_misses = ps.stages.disk_misses;
+  if (options_.store != nullptr) {
+    const cache::StoreStats store_stats = options_.store->stats();
+    s.store_hits = store_stats.hits;
+    s.store_misses = store_stats.misses;
+    s.store_writes = store_stats.writes;
+    s.store_evictions = store_stats.evictions;
+    s.store_corrupt = store_stats.corrupt;
+  }
+
   s.uptime_seconds =
       std::chrono::duration<double>(Clock::now() - started_).count();
 

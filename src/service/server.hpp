@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "pipeline/session.hpp"
 #include "service/service.hpp"
 
@@ -51,6 +52,16 @@ struct ServerOptions {
   std::size_t queue_capacity = 256;
   /// Shared SessionPool; nullptr means a server-private pool.
   pipeline::SessionPool* pool = nullptr;
+  /// Persistent artifact cache directory (cache::Store) installed on the
+  /// pool at construction; empty means no disk cache.  The Server's
+  /// SessionPool then warm-starts: baselines and stage artifacts are read
+  /// from disk when valid entries exist and written back after cold
+  /// computes.  Ignored when `store` is set.
+  std::string cache_dir;
+  /// Pre-built artifact store to install instead of opening `cache_dir`;
+  /// lets several Servers (Router shards) share one Store so its counters
+  /// are process-wide.
+  std::shared_ptr<cache::Store> store;
   /// Observability hook, invoked by the worker thread immediately before a
   /// job's evaluation begins.  Used by tests to coordinate backpressure
   /// scenarios and by embedders for request logging; must not throw.
@@ -85,6 +96,37 @@ struct Stats {
   std::uint64_t failed = 0;     ///< Completed with nonempty error.
   std::array<std::uint64_t, kKindCount> completed_by_kind{};
   std::size_t queue_depth = 0;  ///< Accepted, not yet started.
+
+  /// Pipeline-stage memo counters summed over the pool's Sessions
+  /// (SessionPool::stats()).  Warmth-dependent: a disk-cache hit for a
+  /// downstream artifact skips the upstream stages it would otherwise
+  /// have queried (a warm detection never touches optimize), so the
+  /// protocol renders these only alongside the latency fields, never in
+  /// the byte-diffed part of the stats line.
+  std::uint64_t stage_optimize_runs = 0;
+  std::uint64_t stage_detect_runs = 0;
+  std::uint64_t stage_coverage_runs = 0;
+  std::uint64_t stage_extension_runs = 0;
+  std::uint64_t stage_hits = 0;  ///< Memo hits summed across stages.
+
+  /// Warm-start observability (warmth-dependent; rendered only with the
+  /// latency fields).  Baseline provenance partitions `sessions`; disk_*
+  /// count Session-level artifact-store consults; store_* are the shared
+  /// cache::Store's own counters (zero without a store).  Router::stats()
+  /// max-merges store_* instead of summing: its shards share one Store,
+  /// so every shard reports the same process-wide values.
+  std::uint64_t sessions = 0;
+  std::uint64_t baselines_computed = 0;
+  std::uint64_t baselines_adopted = 0;
+  std::uint64_t baselines_disk = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+  std::uint64_t store_writes = 0;
+  std::uint64_t store_evictions = 0;
+  std::uint64_t store_corrupt = 0;
+
   double uptime_seconds = 0.0;  ///< Per-stage throughput = by_kind / uptime.
   double p50_latency_us = 0.0;  ///< Accept-to-complete, histogram estimate.
   double p99_latency_us = 0.0;
@@ -154,6 +196,10 @@ class Server {
     return static_cast<unsigned>(threads_.size());
   }
   [[nodiscard]] pipeline::SessionPool& pool() { return *pool_; }
+  /// The installed artifact store (null when serving without a cache).
+  [[nodiscard]] const std::shared_ptr<cache::Store>& store() const {
+    return options_.store;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -183,6 +183,34 @@ TEST(ServiceProtocol, RenderedStatsExcludeTimingByDefault) {
             std::string::npos);
 }
 
+TEST(ServiceProtocol, StageAndCacheCountersRenderOnlyWithLatency) {
+  Stats s;
+  s.stage_optimize_runs = 4;
+  s.stage_hits = 2;
+  s.sessions = 3;
+  s.baselines_disk = 1;
+  s.store_hits = 7;
+  s.store_corrupt = 1;
+  // The default line is the byte-diffed transcript surface: stage memo
+  // and warm-start counters depend on the artifact store's state, so
+  // they must never leak into it.
+  const std::string plain = render_stats(s);
+  for (const char* field :
+       {"optimize_runs", "detect_runs", "coverage_runs", "extension_runs",
+        "stage_hits", "sessions", "baselines_computed", "baselines_adopted",
+        "baselines_disk", "disk_hits", "disk_misses", "store_hits",
+        "store_misses", "store_writes", "store_evictions", "store_corrupt"}) {
+    EXPECT_EQ(plain.find(field), std::string::npos) << field;
+  }
+  const std::string with = render_stats(s, /*with_latency=*/true);
+  EXPECT_NE(with.find("\"optimize_runs\": 4"), std::string::npos);
+  EXPECT_NE(with.find("\"stage_hits\": 2"), std::string::npos);
+  EXPECT_NE(with.find("\"sessions\": 3"), std::string::npos);
+  EXPECT_NE(with.find("\"baselines_disk\": 1"), std::string::npos);
+  EXPECT_NE(with.find("\"store_hits\": 7"), std::string::npos);
+  EXPECT_NE(with.find("\"store_corrupt\": 1"), std::string::npos);
+}
+
 TEST(ServiceProtocol, RenderErrorEscapesMessage) {
   EXPECT_EQ(render_error("bad \"line\""),
             "{\"ok\": false, \"error\": \"bad \\\"line\\\"\"}");

@@ -7,10 +7,13 @@
 #include "service/router.hpp"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
 #include <future>
 #include <map>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "service/protocol.hpp"
@@ -150,6 +153,44 @@ TEST(ServiceRouter, StatsAggregateAcrossShards) {
 
   // workers() sums shards so a 4x1 deployment reports 4 (the ping line).
   EXPECT_EQ(router.workers(), 4u);
+}
+
+TEST(ServiceRouter, ShardsShareOneStoreAndStatsMaxMergeItsCounters) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("asipfb_router_cache_" + std::to_string(::getpid()));
+  std::error_code discard;
+  std::filesystem::remove_all(dir, discard);
+
+  RouterOptions options = small_router(3);
+  options.server.cache_dir = dir.string();
+  {
+    Router router(options);
+    // One process-wide Store behind every shard.
+    ASSERT_NE(router.store(), nullptr);
+    for (std::size_t s = 0; s < router.shard_count(); ++s) {
+      EXPECT_EQ(router.shard(s).store().get(), router.store().get());
+    }
+
+    std::uint64_t id = 0;
+    for (const auto& w : wl::suite()) {
+      ASSERT_TRUE(
+          router.call(make_request(++id, Kind::kDetection, w.name)).ok());
+    }
+
+    // Every shard reports the same process-wide store counters, so the
+    // aggregate must equal them (max-merge), not shard_count times them.
+    const Stats total = router.stats();
+    const cache::StoreStats store = router.store()->stats();
+    EXPECT_GT(store.writes, 0u);
+    EXPECT_EQ(total.store_writes, store.writes);
+    EXPECT_EQ(total.store_hits, store.hits);
+    EXPECT_EQ(total.store_misses, store.misses);
+    for (std::size_t s = 0; s < router.shard_count(); ++s) {
+      EXPECT_EQ(router.shard_stats(s).store_writes, store.writes);
+    }
+  }
+  std::filesystem::remove_all(dir, discard);
 }
 
 TEST(ServiceRouter, InvalidOptionsAreRejected) {

@@ -7,12 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <mutex>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -227,6 +231,44 @@ TEST(ServiceServer, RepeatedRequestsHitSessionCaches) {
   const auto stats = session->stats();
   EXPECT_EQ(stats.detect_runs, 1u) << "repeat requests must be cache hits";
   EXPECT_GE(stats.hits, 8u);
+}
+
+TEST(ServiceServer, CacheDirWarmStartsARestartedServer) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) /
+      ("asipfb_server_cache_" + std::to_string(::getpid()));
+  std::error_code discard;
+  std::filesystem::remove_all(dir, discard);
+
+  ServerOptions options;
+  options.workers = 2;
+  options.cache_dir = dir.string();
+  Response cold;
+  {
+    Server server(options);
+    ASSERT_NE(server.store(), nullptr);
+    cold = server.call(make_request(1, Kind::kDetection, "fir"));
+    ASSERT_TRUE(cold.ok());
+    const Stats stats = server.stats();
+    EXPECT_GT(stats.store_writes, 0u);
+    EXPECT_EQ(stats.baselines_computed, 1u);
+    EXPECT_EQ(stats.baselines_disk, 0u);
+  }
+  {
+    // The same options a restarted process would use: the baseline and
+    // detection come off disk, and the response renders bit-identically.
+    Server server(options);
+    const Response warm = server.call(make_request(1, Kind::kDetection, "fir"));
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(render_response(warm), render_response(cold));
+    const Stats stats = server.stats();
+    EXPECT_GT(stats.store_hits, 0u);
+    EXPECT_EQ(stats.store_writes, 0u) << "nothing to write on a warm run";
+    EXPECT_EQ(stats.baselines_disk, 1u);
+    EXPECT_EQ(stats.baselines_computed, 0u);
+    EXPECT_GT(stats.disk_hits, 0u);
+  }
+  std::filesystem::remove_all(dir, discard);
 }
 
 // --- Backpressure -----------------------------------------------------------
