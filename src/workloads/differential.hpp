@@ -1,0 +1,48 @@
+// The one differential battery shared by the per-build fuzz test, the
+// mutator contract test, and the 10k-scenario gauntlet — so the gauntlet
+// exercises exactly the checks the tests gate on instead of a diverging
+// copy.
+//
+// Three checks per workload, each independently switchable:
+//   * oracle: the simulated baseline must reproduce Workload::expected
+//     (raw words, floats bit-compared) and expected_exit;
+//   * levels: O1 and O2 variants must match the baseline's outputs and
+//     exit code bit for bit;
+//   * fusion: the fused interpreter tier must match the unfused oracle —
+//     outputs, exit, steps, cycles, and per-instruction profile hash.
+#pragma once
+
+#include <string>
+
+#include "workloads/suite.hpp"
+
+namespace asipfb::wl {
+
+/// Which of the three differential checks to run.
+struct DifferentialOptions {
+  bool check_oracle = true;
+  bool check_levels = true;
+  bool check_fusion = true;
+};
+
+/// Outcome of the battery on one workload.  A disabled check reports true
+/// (it cannot fail); `error` carries the first failure's description.
+struct DifferentialOutcome {
+  bool compiled = false;
+  bool oracle_ok = false;
+  bool levels_ok = false;
+  bool fusion_ok = false;
+  std::string error;
+
+  [[nodiscard]] bool ok() const {
+    return compiled && oracle_ok && levels_ok && fusion_ok;
+  }
+};
+
+/// Runs the battery on `w`.  Never throws for check failures — compile
+/// errors and mismatches come back in the outcome, so gauntlet shards can
+/// count them instead of dying on the first one.
+[[nodiscard]] DifferentialOutcome check_workload(
+    const Workload& w, const DifferentialOptions& options = {});
+
+}  // namespace asipfb::wl

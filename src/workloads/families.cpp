@@ -20,6 +20,7 @@
 // Emitted float literals use 9 significant digits + 'f' suffix, which
 // round-trips any finite f32 exactly through the frontend's
 // strtod-then-narrow path.
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdarg>
@@ -27,6 +28,7 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -714,6 +716,405 @@ Workload make_fused_scenario(const FusedParams& p, std::uint64_t data_seed,
     w.expected["checksum"] = {s};
     w.expected_exit = s;
   }
+  return w;
+}
+
+// --- RLE (quantize + run-length codec) --------------------------------------
+// Control-heavy by construction: the quantizer is an if/else-if threshold
+// chain taken per sample, the encoder's inner scan runs until the data
+// changes (an irregular, data-dependent trip count ended by `break`), and
+// the decoder's inner loop bound is the runtime-computed run length.
+
+Workload make_rle_scenario(const RleParams& p, std::uint64_t data_seed,
+                           std::string name) {
+  require(p.length >= 2 && p.length <= 4096, "rle length out of range");
+  require(p.levels >= 2 && p.levels <= 8, "rle levels out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+  const int N = p.length;
+  const int L = p.levels;
+
+  // Evenly spaced thresholds over the sample range [-128, 127]: values in
+  // (thresh[k-1], thresh[k]] quantize to bucket k.
+  std::vector<std::int32_t> thresh(static_cast<std::size_t>(L - 1));
+  for (int k = 0; k < L - 1; ++k) {
+    thresh[static_cast<std::size_t>(k)] = -128 + ((k + 1) * 256) / L;
+  }
+  // Runs of geometric-ish length so the encoder sees both long runs and
+  // single-sample runs: each sample repeats the previous one with
+  // probability ~3/4.
+  std::vector<std::int32_t> x(static_cast<std::size_t>(N));
+  std::int32_t current = rng.next_int(-128, 127);
+  for (int i = 0; i < N; ++i) {
+    if (rng.next_below(4) == 0) current = rng.next_int(-128, 127);
+    x[static_cast<std::size_t>(i)] = current;
+  }
+
+  std::string src = fmt(
+      "/* %s: generated quantize + run-length codec, %d samples, %d levels. */\n",
+      w.name.c_str(), N, L);
+  src += fmt("int x[%d];\nint q[%d];\nint runval[%d];\nint runlen[%d];\nint dec[%d];\n",
+             N, N, N, N, N);
+  src += "int nruns;\nint checksum;\n\nint main() {\n  int i;\n";
+  src += fmt("  for (i = 0; i < %d; i++) {\n", N);
+  src += "    runval[i] = 0;\n    runlen[i] = 0;\n    dec[i] = 0;\n  }\n";
+  // Quantize: data-dependent threshold chain.
+  src += fmt("  for (i = 0; i < %d; i++) {\n", N);
+  src += "    int v = x[i];\n    int lvl = 0;\n";
+  for (int k = 0; k < L - 1; ++k) {
+    src += fmt("    if (v > %d) {\n      lvl = %d;\n    }\n",
+               thresh[static_cast<std::size_t>(k)], k + 1);
+  }
+  src += "    q[i] = lvl;\n  }\n";
+  // Encode: inner while scans the current run; trip count is data-dependent.
+  src += "  int n = 0;\n  i = 0;\n";
+  src += fmt("  while (i < %d) {\n", N);
+  src += "    int v = q[i];\n    int len = 1;\n";
+  src += fmt("    while (i + len < %d) {\n", N);
+  src += "      if (q[i + len] != v) {\n        break;\n      }\n";
+  src += "      len++;\n    }\n";
+  src += "    runval[n] = v;\n    runlen[n] = len;\n    n++;\n    i += len;\n  }\n";
+  src += "  nruns = n;\n";
+  // Decode: inner loop bound is the runtime-computed run length.
+  src += "  int r;\n  int k;\n  int pos = 0;\n";
+  src += "  for (r = 0; r < n; r++) {\n";
+  src += "    for (k = 0; k < runlen[r]; k++) {\n";
+  src += "      dec[pos] = runval[r];\n      pos++;\n    }\n  }\n";
+  // Verify + checksum; the else branch only fires on a codec bug.
+  src += "  int s = 0;\n";
+  src += fmt("  for (i = 0; i < %d; i++) {\n", N);
+  src += "    if (dec[i] == q[i]) {\n      s += dec[i] + 1;\n    } else {\n";
+  src += "      s -= 1000;\n    }\n  }\n";
+  src += "  checksum = s;\n  return s;\n}\n";
+  w.source = src;
+
+  // Oracle, statement by statement.
+  std::vector<std::int32_t> q(static_cast<std::size_t>(N));
+  for (int i = 0; i < N; ++i) {
+    const std::int32_t v = x[static_cast<std::size_t>(i)];
+    std::int32_t lvl = 0;
+    for (int k = 0; k < L - 1; ++k) {
+      if (v > thresh[static_cast<std::size_t>(k)]) lvl = k + 1;
+    }
+    q[static_cast<std::size_t>(i)] = lvl;
+  }
+  std::vector<std::int32_t> runval(static_cast<std::size_t>(N), 0);
+  std::vector<std::int32_t> runlen(static_cast<std::size_t>(N), 0);
+  std::int32_t n = 0;
+  {
+    int i = 0;
+    while (i < N) {
+      const std::int32_t v = q[static_cast<std::size_t>(i)];
+      std::int32_t len = 1;
+      while (i + len < N) {
+        if (q[static_cast<std::size_t>(i + len)] != v) break;
+        ++len;
+      }
+      runval[static_cast<std::size_t>(n)] = v;
+      runlen[static_cast<std::size_t>(n)] = len;
+      ++n;
+      i += len;
+    }
+  }
+  std::vector<std::int32_t> dec(static_cast<std::size_t>(N), 0);
+  {
+    int pos = 0;
+    for (int r = 0; r < n; ++r) {
+      for (int k = 0; k < runlen[static_cast<std::size_t>(r)]; ++k) {
+        dec[static_cast<std::size_t>(pos)] = runval[static_cast<std::size_t>(r)];
+        ++pos;
+      }
+    }
+  }
+  std::int32_t s = 0;
+  for (int i = 0; i < N; ++i) {
+    if (dec[static_cast<std::size_t>(i)] == q[static_cast<std::size_t>(i)]) {
+      s += dec[static_cast<std::size_t>(i)] + 1;
+    } else {
+      s -= 1000;
+    }
+  }
+
+  w.description = fmt("generated quantize + run-length codec (%d levels)", L);
+  w.data_description = fmt("run-structured stream of %d random samples", N);
+  w.input.add("x", x);
+  w.outputs = {"q", "runval", "runlen", "dec", "nruns", "checksum"};
+  w.expected["q"] = q;
+  w.expected["runval"] = runval;
+  w.expected["runlen"] = runlen;
+  w.expected["dec"] = dec;
+  w.expected["nruns"] = {n};
+  w.expected["checksum"] = {s};
+  w.expected_exit = s;
+  return w;
+}
+
+// --- Calls (multi-function tiled statistics) --------------------------------
+// A three-deep call graph (main -> tile_stat -> region_sum, plus a clamp
+// helper used from two sites) over nested loops whose bounds — the tile
+// side — are computed at runtime from the image data itself.
+
+Workload make_calls_scenario(const CallsParams& p, std::uint64_t data_seed,
+                             std::string name) {
+  require(p.width >= 4 && p.width <= 64, "calls width out of range");
+  require(p.height >= 4 && p.height <= 64, "calls height out of range");
+  require(p.tile_base >= 2 && p.tile_base <= 8, "calls tile_base out of range");
+  require(p.bias >= -64 && p.bias <= 64, "calls bias out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+  const int W = p.width, H = p.height, WH = W * H;
+  const int max_tiles = (W / 2) * (H / 2);  // Smallest legal tile side is 2.
+  const std::vector<std::int32_t> img =
+      rng.image8(static_cast<std::size_t>(W), static_cast<std::size_t>(H));
+
+  std::string src = fmt(
+      "/* %s: generated tiled image statistics over a %dx%d image through a\n"
+      "   multi-function call graph; tile side computed from the data. */\n",
+      w.name.c_str(), W, H);
+  src += fmt("int img[%d];\nint out[%d];\nint tilemean[%d];\n", WH, WH, max_tiles);
+  src += "int ntiles;\nint checksum;\n\n";
+  src += "int clampv(int v, int lo, int hi) {\n";
+  src += "  if (v < lo) {\n    return lo;\n  }\n";
+  src += "  if (v > hi) {\n    return hi;\n  }\n";
+  src += "  return v;\n}\n\n";
+  src += "int region_sum(int r0, int c0, int rh, int cw) {\n";
+  src += "  int r;\n  int c;\n  int s = 0;\n";
+  src += "  for (r = r0; r < r0 + rh; r++) {\n";
+  src += "    for (c = c0; c < c0 + cw; c++) {\n";
+  src += fmt("      s += img[r * %d + c];\n", W);
+  src += "    }\n  }\n  return s;\n}\n\n";
+  src += "int tile_stat(int t, int tr, int tc, int side) {\n";
+  src += "  int s = region_sum(tr, tc, side, side);\n";
+  src += "  int mean = s / (side * side);\n";
+  src += "  tilemean[t] = clampv(mean, 0, 255);\n";
+  src += "  return tilemean[t];\n}\n\n";
+  src += "int main() {\n  int i;\n";
+  src += fmt("  for (i = 0; i < %d; i++) {\n    out[i] = img[i];\n  }\n", WH);
+  // Runtime-computed tile side: the loop bounds below depend on the data.
+  src += fmt("  int side = %d + (img[0] & 3);\n", p.tile_base);
+  src += fmt("  if (side > %d) {\n    side = %d;\n  }\n", std::min(W, H),
+             std::min(W, H));
+  src += "  int t = 0;\n  int tr;\n  int tc;\n";
+  src += fmt("  for (tr = 0; tr + side <= %d; tr += side) {\n", H);
+  src += fmt("    for (tc = 0; tc + side <= %d; tc += side) {\n", W);
+  src += "      int m = tile_stat(t, tr, tc, side);\n";
+  src += "      int r;\n      int c;\n";
+  src += "      for (r = tr; r < tr + side; r++) {\n";
+  src += "        for (c = tc; c < tc + side; c++) {\n";
+  src += fmt("          out[r * %d + c] = clampv(img[r * %d + c] - m + %d, 0, 255);\n",
+             W, W, 128 + p.bias);
+  src += "        }\n      }\n      t++;\n    }\n  }\n";
+  src += "  ntiles = t;\n";
+  src += emit_int_checksum("out", WH);
+  src += "}\n";
+  w.source = src;
+
+  // Oracle, statement by statement.
+  const auto clampv = [](std::int32_t v, std::int32_t lo, std::int32_t hi) {
+    if (v < lo) return lo;
+    if (v > hi) return hi;
+    return v;
+  };
+  std::vector<std::int32_t> out = img;
+  std::vector<std::int32_t> tilemean(static_cast<std::size_t>(max_tiles), 0);
+  std::int32_t side = p.tile_base + (img[0] & 3);
+  if (side > std::min(W, H)) side = std::min(W, H);
+  std::int32_t t = 0;
+  for (int tr = 0; tr + side <= H; tr += side) {
+    for (int tc = 0; tc + side <= W; tc += side) {
+      std::int32_t sum = 0;
+      for (int r = tr; r < tr + side; ++r) {
+        for (int c = tc; c < tc + side; ++c) {
+          sum += img[static_cast<std::size_t>(r * W + c)];
+        }
+      }
+      const std::int32_t mean = sum / (side * side);
+      tilemean[static_cast<std::size_t>(t)] = clampv(mean, 0, 255);
+      const std::int32_t m = tilemean[static_cast<std::size_t>(t)];
+      for (int r = tr; r < tr + side; ++r) {
+        for (int c = tc; c < tc + side; ++c) {
+          out[static_cast<std::size_t>(r * W + c)] =
+              clampv(img[static_cast<std::size_t>(r * W + c)] - m + 128 + p.bias,
+                     0, 255);
+        }
+      }
+      ++t;
+    }
+  }
+  std::int32_t s = 0;
+  for (std::int32_t v : out) s += v;
+
+  w.description = fmt("generated tiled statistics via call graph (base side %d)",
+                      p.tile_base);
+  w.data_description = fmt("%dx%d 8-bit image", W, H);
+  w.input.add("img", img);
+  w.outputs = {"out", "tilemean", "ntiles", "checksum"};
+  w.expected["out"] = out;
+  w.expected["tilemean"] = tilemean;
+  w.expected["ntiles"] = {t};
+  w.expected["checksum"] = {s};
+  w.expected_exit = s;
+  return w;
+}
+
+// --- FFT (fixed-point radix-2) ----------------------------------------------
+// Iterative decimation-in-time FFT on an integer datapath: bit-reversal
+// permutation with the while-loop carry idiom, Q`qbits` twiddle tables
+// baked into the source, and >>1 scaling per stage so every intermediate
+// stays well inside i32.  Integer-only, so the oracle is exact without any
+// floating-point contract.
+
+Workload make_fft_scenario(const FftParams& p, std::uint64_t data_seed,
+                           std::string name) {
+  require(p.points >= 4 && p.points <= 256, "fft points out of range");
+  require((p.points & (p.points - 1)) == 0, "fft points must be a power of two");
+  require(p.qbits >= 8 && p.qbits <= 14, "fft qbits out of range");
+
+  Workload w;
+  w.name = std::move(name);
+  Rng rng(data_seed);
+  const int P = p.points;
+  const int Q = p.qbits;
+  const std::int32_t one = std::int32_t{1} << Q;
+  const std::vector<std::int32_t> x =
+      rng.int_array(static_cast<std::size_t>(P), -128, 127);
+
+  // Forward twiddles W_P^k = e^{-2 pi i k / P} in Q`qbits` fixed point.
+  std::vector<std::int32_t> wr(static_cast<std::size_t>(P / 2));
+  std::vector<std::int32_t> wi(static_cast<std::size_t>(P / 2));
+  for (int k = 0; k < P / 2; ++k) {
+    const double ang = -6.283185307179586 * k / P;
+    wr[static_cast<std::size_t>(k)] =
+        static_cast<std::int32_t>(std::lround(std::cos(ang) * one));
+    wi[static_cast<std::size_t>(k)] =
+        static_cast<std::int32_t>(std::lround(std::sin(ang) * one));
+  }
+
+  std::string src = fmt(
+      "/* %s: generated fixed-point radix-2 %d-point FFT (Q%d twiddles%s). */\n",
+      w.name.c_str(), P, Q, p.window ? ", windowed" : "");
+  src += fmt("int x[%d];\nint re[%d];\nint im[%d];\nint pw[%d];\n", P, P, P, P);
+  src += int_array_init("wr", wr);
+  src += int_array_init("wi", wi);
+  src += "int checksum;\n\nint main() {\n  int i;\n";
+  if (p.window) {
+    // Triangular integer window scaled back by Q-ish shift; windowed
+    // samples stay within the input range.
+    src += fmt("  for (i = 0; i < %d; i++) {\n", P);
+    src += fmt("    int tri = i;\n    if (i >= %d) {\n      tri = %d - i;\n    }\n",
+               P / 2, P - 1);
+    src += fmt("    re[i] = (x[i] * (tri + 1)) / %d;\n", P / 2);
+    src += "    im[i] = 0;\n  }\n";
+  } else {
+    src += fmt("  for (i = 0; i < %d; i++) {\n    re[i] = x[i];\n    im[i] = 0;\n  }\n",
+               P);
+  }
+  // Bit-reversal permutation (intfft's while-carry idiom).
+  src += "  int j = 0;\n";
+  src += fmt("  for (i = 0; i < %d; i++) {\n", P - 1);
+  src += "    if (i < j) {\n";
+  src += "      int tr = re[i];\n      re[i] = re[j];\n      re[j] = tr;\n";
+  src += "      int ti = im[i];\n      im[i] = im[j];\n      im[j] = ti;\n    }\n";
+  src += fmt("    int k = %d;\n", P >> 1);
+  src += "    while (k <= j) {\n      j -= k;\n      k >>= 1;\n    }\n";
+  src += "    j += k;\n  }\n";
+  // Butterfly stages with >>1 scaling.
+  src += "  int len;\n";
+  src += fmt("  for (len = 2; len <= %d; len <<= 1) {\n", P);
+  src += "    int half = len >> 1;\n";
+  src += fmt("    int step = %d / len;\n", P);
+  src += "    int base;\n";
+  src += fmt("    for (base = 0; base < %d; base += len) {\n", P);
+  src += "      int q;\n";
+  src += "      for (q = 0; q < half; q++) {\n";
+  src += "        int a = base + q;\n        int b = a + half;\n";
+  src += "        int widx = q * step;\n";
+  src += fmt("        int tr = (wr[widx] * re[b] - wi[widx] * im[b]) >> %d;\n", Q);
+  src += fmt("        int ti = (wr[widx] * im[b] + wi[widx] * re[b]) >> %d;\n", Q);
+  src += "        int ur = re[a];\n        int ui = im[a];\n";
+  src += "        re[b] = (ur - tr) >> 1;\n        im[b] = (ui - ti) >> 1;\n";
+  src += "        re[a] = (ur + tr) >> 1;\n        im[a] = (ui + ti) >> 1;\n";
+  src += "      }\n    }\n  }\n";
+  // Power spectrum + checksum.
+  src += fmt("  for (i = 0; i < %d; i++) {\n", P);
+  src += "    pw[i] = re[i] * re[i] + im[i] * im[i];\n  }\n";
+  src += emit_int_checksum("pw", P);
+  src += "}\n";
+  w.source = src;
+
+  // Oracle, statement by statement.
+  std::vector<std::int32_t> re(static_cast<std::size_t>(P));
+  std::vector<std::int32_t> im(static_cast<std::size_t>(P), 0);
+  for (int i = 0; i < P; ++i) {
+    if (p.window) {
+      std::int32_t tri = i;
+      if (i >= P / 2) tri = (P - 1) - i;
+      re[static_cast<std::size_t>(i)] =
+          (x[static_cast<std::size_t>(i)] * (tri + 1)) / (P / 2);
+    } else {
+      re[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+    }
+  }
+  {
+    std::int32_t j = 0;
+    for (int i = 0; i < P - 1; ++i) {
+      if (i < j) {
+        std::swap(re[static_cast<std::size_t>(i)], re[static_cast<std::size_t>(j)]);
+        std::swap(im[static_cast<std::size_t>(i)], im[static_cast<std::size_t>(j)]);
+      }
+      std::int32_t k = P >> 1;
+      while (k <= j) {
+        j -= k;
+        k >>= 1;
+      }
+      j += k;
+    }
+  }
+  for (int len = 2; len <= P; len <<= 1) {
+    const int half = len >> 1;
+    const int step = P / len;
+    for (int base = 0; base < P; base += len) {
+      for (int q = 0; q < half; ++q) {
+        const int a = base + q;
+        const int b = a + half;
+        const int widx = q * step;
+        const std::int32_t tr =
+            (wr[static_cast<std::size_t>(widx)] * re[static_cast<std::size_t>(b)] -
+             wi[static_cast<std::size_t>(widx)] * im[static_cast<std::size_t>(b)]) >> Q;
+        const std::int32_t ti =
+            (wr[static_cast<std::size_t>(widx)] * im[static_cast<std::size_t>(b)] +
+             wi[static_cast<std::size_t>(widx)] * re[static_cast<std::size_t>(b)]) >> Q;
+        const std::int32_t ur = re[static_cast<std::size_t>(a)];
+        const std::int32_t ui = im[static_cast<std::size_t>(a)];
+        re[static_cast<std::size_t>(b)] = (ur - tr) >> 1;
+        im[static_cast<std::size_t>(b)] = (ui - ti) >> 1;
+        re[static_cast<std::size_t>(a)] = (ur + tr) >> 1;
+        im[static_cast<std::size_t>(a)] = (ui + ti) >> 1;
+      }
+    }
+  }
+  std::vector<std::int32_t> pw(static_cast<std::size_t>(P));
+  for (int i = 0; i < P; ++i) {
+    pw[static_cast<std::size_t>(i)] =
+        re[static_cast<std::size_t>(i)] * re[static_cast<std::size_t>(i)] +
+        im[static_cast<std::size_t>(i)] * im[static_cast<std::size_t>(i)];
+  }
+  std::int32_t s = 0;
+  for (std::int32_t v : pw) s += v;
+
+  w.description = fmt("generated fixed-point %d-point FFT (Q%d)", P, Q);
+  w.data_description = fmt("stream of %d random integers", P);
+  w.input.add("x", x);
+  w.outputs = {"re", "im", "pw", "checksum"};
+  w.expected["re"] = re;
+  w.expected["im"] = im;
+  w.expected["pw"] = pw;
+  w.expected["checksum"] = {s};
+  w.expected_exit = s;
   return w;
 }
 

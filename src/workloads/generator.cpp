@@ -8,6 +8,7 @@
 // family never perturbs any other family or index.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -49,14 +50,18 @@ std::string_view to_string(Family family) {
     case Family::kConv2d: return "conv2d";
     case Family::kHistEq: return "histeq";
     case Family::kFused: return "fused";
+    case Family::kRle: return "rle";
+    case Family::kCalls: return "calls";
+    case Family::kFft: return "fft";
   }
   return "unknown";
 }
 
 const std::vector<Family>& all_families() {
   static const std::vector<Family> families = {
-      Family::kFir,    Family::kIir,    Family::kDft,
-      Family::kConv2d, Family::kHistEq, Family::kFused};
+      Family::kFir,    Family::kIir,   Family::kDft,
+      Family::kConv2d, Family::kHistEq, Family::kFused,
+      Family::kRle,    Family::kCalls, Family::kFft};
   return families;
 }
 
@@ -118,6 +123,27 @@ Workload corpus_scenario(const CorpusSpec& spec, std::size_t index) {
       p.height = pick(rng, {12, 16, 24});
       return make_fused_scenario(p, rng.next_u64(), std::move(name));
     }
+    case Family::kRle: {
+      RleParams p;
+      p.length = pick(rng, {48, 64, 96, 128, 192, 256});
+      p.levels = pick(rng, {2, 3, 4, 5, 8});
+      return make_rle_scenario(p, rng.next_u64(), std::move(name));
+    }
+    case Family::kCalls: {
+      CallsParams p;
+      p.width = pick(rng, {8, 12, 16, 24, 32});
+      p.height = pick(rng, {8, 12, 16, 24});
+      p.tile_base = pick(rng, {2, 3, 4});
+      p.bias = pick(rng, {-24, -8, 0, 8, 24});
+      return make_calls_scenario(p, rng.next_u64(), std::move(name));
+    }
+    case Family::kFft: {
+      FftParams p;
+      p.points = pick(rng, {8, 16, 32, 64});
+      p.qbits = pick(rng, {12, 13, 14});
+      p.window = rng.next_below(2) == 1;
+      return make_fft_scenario(p, rng.next_u64(), std::move(name));
+    }
   }
   throw std::invalid_argument("unknown Family");
 }
@@ -140,6 +166,25 @@ std::vector<Workload> corpus(const CorpusSpec& spec) {
 const std::vector<Workload>& default_corpus() {
   static const std::vector<Workload> shared = corpus();
   return shared;
+}
+
+CorpusSpec env_corpus_spec() {
+  CorpusSpec spec;
+  if (const char* count = std::getenv("ASIPFB_FUZZ_COUNT")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(count, &end, 10);
+    if (end != count && *end == '\0' && v >= 1) {
+      spec.count = static_cast<std::size_t>(v);
+    }
+  }
+  if (const char* seed = std::getenv("ASIPFB_FUZZ_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(seed, &end, 10);
+    if (end != seed && *end == '\0') {
+      spec.seed = static_cast<std::uint64_t>(v);
+    }
+  }
+  return spec;
 }
 
 std::string_view family_of(std::string_view scenario_name) {

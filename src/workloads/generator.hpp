@@ -38,12 +38,18 @@ enum class Family : std::uint8_t {
   kConv2d,  ///< 3x3 image convolution; edge/smooth-style postludes.
   kHistEq,  ///< Histogram equalization, parameterized dims/levels (flatten).
   kFused,   ///< Two-stage pipelines: fir->histeq and conv2d->histeq.
+  kRle,     ///< Quantize + run-length codec: data-dependent branches and
+            ///< irregular trip counts (compress/pse territory).
+  kCalls,   ///< Tiled image statistics through a multi-function call graph
+            ///< with runtime-computed loop bounds (flatten territory).
+  kFft,     ///< Iterative radix-2 fixed-point FFT with per-stage scaling
+            ///< (intfft territory, integer datapath).
 };
 
 /// Lower-case family name ("fir", "iir", ...); stable, used in scenario names.
 [[nodiscard]] std::string_view to_string(Family family);
 
-/// All six generator families, in enum order.
+/// All nine generator families, in enum order.
 [[nodiscard]] const std::vector<Family>& all_families();
 
 // --- Per-family parameters --------------------------------------------------
@@ -106,6 +112,36 @@ struct FusedParams {
   int height = 16;  ///< Image pipeline: image height, >= 4.
 };
 
+/// RLE family: quantize an integer stream into `levels` buckets through a
+/// data-dependent threshold chain, run-length encode it (the inner scan's
+/// trip count depends entirely on the data), decode it back, and verify.
+/// Exercises data-dependent branching and irregular trip counts.
+struct RleParams {
+  int length = 64;  ///< Stream length, >= 2.
+  int levels = 4;   ///< Quantization buckets, 2..8.
+};
+
+/// Calls family: per-tile image statistics computed through a multi-function
+/// call graph (main -> tile_stat -> region_sum, plus a clamp helper), with
+/// the tile size — and therefore every loop bound — computed at runtime from
+/// the image data itself.
+struct CallsParams {
+  int width = 16;    ///< Image width, >= 4.
+  int height = 16;   ///< Image height, >= 4.
+  int tile_base = 3; ///< Minimum tile side, 2..8 (runtime adds img[0] & 3).
+  int bias = 8;      ///< Contrast bias added during per-pixel remapping, -64..64.
+};
+
+/// FFT family: iterative radix-2 decimation-in-time fixed-point FFT with a
+/// bit-reversal permutation (intfft's while-loop idiom), Qn twiddle tables
+/// baked into the source, and >>1 scaling per butterfly stage.  Entirely
+/// integer, so the oracle is exact by construction.
+struct FftParams {
+  int points = 16;     ///< Transform length; power of two in [4, 256].
+  int qbits = 14;      ///< Twiddle fixed-point fraction bits, 8..14.
+  bool window = false; ///< Apply a triangular integer window before the FFT.
+};
+
 // --- One-scenario entry points ----------------------------------------------
 // Each returns a complete Workload: source, inputs drawn from Rng(data_seed),
 // oracle-filled `expected` for every listed output global, and
@@ -129,6 +165,15 @@ struct FusedParams {
 [[nodiscard]] Workload make_fused_scenario(const FusedParams& p,
                                            std::uint64_t data_seed,
                                            std::string name);
+[[nodiscard]] Workload make_rle_scenario(const RleParams& p,
+                                         std::uint64_t data_seed,
+                                         std::string name);
+[[nodiscard]] Workload make_calls_scenario(const CallsParams& p,
+                                           std::uint64_t data_seed,
+                                           std::string name);
+[[nodiscard]] Workload make_fft_scenario(const FftParams& p,
+                                         std::uint64_t data_seed,
+                                         std::string name);
 
 // --- Corpus -----------------------------------------------------------------
 
@@ -158,6 +203,13 @@ struct CorpusSpec {
 /// and tests (generation itself is cheap; the oracle simulations are not
 /// free, so share one copy per process).
 [[nodiscard]] const std::vector<Workload>& default_corpus();
+
+/// The default CorpusSpec with `seed` and `count` overridden by the
+/// ASIPFB_FUZZ_SEED / ASIPFB_FUZZ_COUNT environment variables when set
+/// (parsed as base-10; invalid or empty values are ignored).  The one
+/// knob shared by the per-build differential test and the gauntlet, so
+/// both drive the same harness instead of diverging copies.
+[[nodiscard]] CorpusSpec env_corpus_spec();
 
 /// Lookup across both populations: the Table-1 suite first, then the
 /// default corpus ("gen_<family>_<index>" names).  Lets name-driven tools

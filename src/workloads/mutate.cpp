@@ -1,0 +1,875 @@
+// Structural mutator for BenchC (mutate.hpp): parse + sema, rewrite the
+// typed AST in place, and print the result back to source.
+//
+// The printer is deliberately dumb: every composite expression is fully
+// parenthesized, so operator precedence can never change across a
+// round-trip, and sema-inserted implicit conversions reappear as explicit
+// casts (legal BenchC with identical semantics).  Rewrites only ever fire
+// at sites that pass their conservative eligibility check; anything the
+// checks cannot prove independent, pure, or exactly associative is left
+// alone.  Cloned subtrees share VarSym pointers with their originals —
+// safe because printing goes through sym->name, and the mutated source is
+// recompiled from scratch by whoever runs it.
+#include "workloads/mutate.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/sema.hpp"
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+
+namespace asipfb::wl {
+
+namespace {
+
+using fe::Expr;
+using fe::ExprKind;
+using fe::ExprPtr;
+using fe::Stmt;
+using fe::StmtKind;
+using fe::StmtPtr;
+using fe::Tok;
+using fe::VarSym;
+
+// --- Printing ---------------------------------------------------------------
+
+std::string_view type_name(ir::Type t) {
+  switch (t) {
+    case ir::Type::I32: return "int";
+    case ir::Type::F32: return "float";
+    case ir::Type::Void: return "void";
+  }
+  return "int";
+}
+
+std::string_view spell(Tok t) {
+  switch (t) {
+    case Tok::Assign: return "=";
+    case Tok::PlusAssign: return "+=";
+    case Tok::MinusAssign: return "-=";
+    case Tok::StarAssign: return "*=";
+    case Tok::SlashAssign: return "/=";
+    case Tok::PercentAssign: return "%=";
+    case Tok::ShlAssign: return "<<=";
+    case Tok::ShrAssign: return ">>=";
+    case Tok::AndAssign: return "&=";
+    case Tok::OrAssign: return "|=";
+    case Tok::XorAssign: return "^=";
+    case Tok::PlusPlus: return "++";
+    case Tok::MinusMinus: return "--";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Shl: return "<<";
+    case Tok::Shr: return ">>";
+    case Tok::Amp: return "&";
+    case Tok::Pipe: return "|";
+    case Tok::Caret: return "^";
+    case Tok::Tilde: return "~";
+    case Tok::AmpAmp: return "&&";
+    case Tok::PipePipe: return "||";
+    case Tok::Bang: return "!";
+    case Tok::Eq: return "==";
+    case Tok::Ne: return "!=";
+    case Tok::Lt: return "<";
+    case Tok::Le: return "<=";
+    case Tok::Gt: return ">";
+    case Tok::Ge: return ">=";
+    default: return "?";
+  }
+}
+
+/// A float literal the frontend parses back to exactly `v` (mirrors the
+/// generator's f32lit: 9 significant digits round-trip any finite f32).
+std::string float_lit(float v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(v));
+  return std::string(buf) + "f";
+}
+
+std::string_view name_of(const Expr& e) {
+  return e.sym != nullptr ? std::string_view(e.sym->name) : std::string_view(e.name);
+}
+
+void print_expr(const Expr& e, std::string& out) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      out += std::to_string(e.int_val);
+      return;
+    case ExprKind::FloatLit:
+      out += float_lit(static_cast<float>(e.float_val));
+      return;
+    case ExprKind::Var:
+      out += name_of(e);
+      return;
+    case ExprKind::Index:
+      out += name_of(e);
+      out += '[';
+      print_expr(*e.children[0], out);
+      out += ']';
+      return;
+    case ExprKind::Call:
+      out += e.name;
+      out += '(';
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i != 0) out += ", ";
+        print_expr(*e.children[i], out);
+      }
+      out += ')';
+      return;
+    case ExprKind::Unary:
+      out += '(';
+      out += spell(e.op);
+      print_expr(*e.children[0], out);
+      out += ')';
+      return;
+    case ExprKind::Binary:
+    case ExprKind::Assign:
+      out += '(';
+      print_expr(*e.children[0], out);
+      out += ' ';
+      out += spell(e.op);
+      out += ' ';
+      print_expr(*e.children[1], out);
+      out += ')';
+      return;
+    case ExprKind::IncDec:
+      out += '(';
+      if (e.is_prefix) out += spell(e.op);
+      print_expr(*e.children[0], out);
+      if (!e.is_prefix) out += spell(e.op);
+      out += ')';
+      return;
+    case ExprKind::Cast:
+      out += "((";
+      out += type_name(e.cast_type);
+      out += ')';
+      print_expr(*e.children[0], out);
+      out += ')';
+      return;
+  }
+}
+
+/// "int v = (...);" / "float a[4];" — shared by block decls and for-inits.
+std::string decl_text(const Stmt& s) {
+  std::string out(type_name(s.decl_type));
+  out += ' ';
+  out += s.sym != nullptr ? s.sym->name : s.decl_name;
+  if (s.decl_is_array) {
+    out += '[';
+    out += std::to_string(s.decl_array_size);
+    out += ']';
+  }
+  if (s.decl_init) {
+    out += " = ";
+    print_expr(*s.decl_init, out);
+  }
+  out += ';';
+  return out;
+}
+
+void print_stmt(const Stmt& s, int ind, std::string& out);
+
+/// Prints `s` as the contents of a brace pair at `ind` (the braces are the
+/// caller's): a Block contributes its children, anything else one line.
+void print_braced_contents(const Stmt& s, int ind, std::string& out) {
+  if (s.kind == StmtKind::Block) {
+    for (const auto& c : s.body) print_stmt(*c, ind + 1, out);
+  } else {
+    print_stmt(s, ind + 1, out);
+  }
+}
+
+void print_stmt(const Stmt& s, int ind, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(ind) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::Block:
+      out += pad + "{\n";
+      for (const auto& c : s.body) print_stmt(*c, ind + 1, out);
+      out += pad + "}\n";
+      return;
+    case StmtKind::Decl:
+      out += pad + decl_text(s) + "\n";
+      return;
+    case StmtKind::ExprStmt:
+      out += pad;
+      print_expr(*s.expr, out);
+      out += ";\n";
+      return;
+    case StmtKind::If:
+      out += pad + "if (";
+      print_expr(*s.expr, out);
+      out += ") {\n";
+      print_braced_contents(*s.body[0], ind, out);
+      if (s.body.size() > 1) {
+        out += pad + "} else {\n";
+        print_braced_contents(*s.body[1], ind, out);
+      }
+      out += pad + "}\n";
+      return;
+    case StmtKind::While:
+      out += pad + "while (";
+      print_expr(*s.expr, out);
+      out += ") {\n";
+      print_braced_contents(*s.body[0], ind, out);
+      out += pad + "}\n";
+      return;
+    case StmtKind::For:
+      out += pad + "for (";
+      if (s.init_stmt) {
+        if (s.init_stmt->kind == StmtKind::Decl) {
+          out += decl_text(*s.init_stmt);
+        } else {
+          print_expr(*s.init_stmt->expr, out);
+          out += ';';
+        }
+      } else {
+        out += ';';
+      }
+      out += ' ';
+      if (s.expr) print_expr(*s.expr, out);
+      out += ';';
+      if (s.expr2) {
+        out += ' ';
+        print_expr(*s.expr2, out);
+      }
+      out += ") {\n";
+      print_braced_contents(*s.body[0], ind, out);
+      out += pad + "}\n";
+      return;
+    case StmtKind::Return:
+      out += pad + "return";
+      if (s.expr) {
+        out += ' ';
+        print_expr(*s.expr, out);
+      }
+      out += ";\n";
+      return;
+    case StmtKind::Break:
+      out += pad + "break;\n";
+      return;
+    case StmtKind::Continue:
+      out += pad + "continue;\n";
+      return;
+  }
+}
+
+std::string print_unit(const fe::TranslationUnit& tu) {
+  std::string out;
+  for (const auto& g : tu.globals) {
+    out += type_name(g.type);
+    out += ' ';
+    out += g.sym != nullptr ? g.sym->name : g.name;
+    if (g.is_array) {
+      out += '[';
+      out += std::to_string(g.array_size);
+      out += ']';
+      if (!g.init.empty()) {
+        out += " = { ";
+        for (std::size_t i = 0; i < g.init.size(); ++i) {
+          if (i != 0) out += ", ";
+          print_expr(*g.init[i], out);
+        }
+        out += " }";
+      }
+    } else if (!g.init.empty()) {
+      out += " = ";
+      print_expr(*g.init[0], out);
+    }
+    out += ";\n";
+  }
+  for (const auto& fn : tu.functions) {
+    out += '\n';
+    out += type_name(fn.return_type);
+    out += ' ';
+    out += fn.name;
+    out += '(';
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += type_name(fn.params[i].second);
+      out += ' ';
+      out += fn.param_syms.size() == fn.params.size() ? fn.param_syms[i]->name
+                                                      : fn.params[i].first;
+    }
+    out += ") {\n";
+    for (const auto& c : fn.body->body) print_stmt(*c, 1, out);
+    out += "}\n";
+  }
+  return out;
+}
+
+// --- Cloning ----------------------------------------------------------------
+// Deep copies; VarSym pointers are shared (symbols are TU-owned and names
+// are the only thing printing reads through them).
+
+ExprPtr clone_expr(const ExprPtr& e) {
+  if (!e) return nullptr;
+  auto out = std::make_unique<Expr>();
+  out->kind = e->kind;
+  out->loc = e->loc;
+  out->int_val = e->int_val;
+  out->float_val = e->float_val;
+  out->name = e->name;
+  out->op = e->op;
+  out->is_prefix = e->is_prefix;
+  out->cast_type = e->cast_type;
+  out->type = e->type;
+  out->sym = e->sym;
+  out->callee_index = e->callee_index;
+  out->builtin = e->builtin;
+  out->children.reserve(e->children.size());
+  for (const auto& c : e->children) out->children.push_back(clone_expr(c));
+  return out;
+}
+
+StmtPtr clone_stmt(const StmtPtr& s) {
+  if (!s) return nullptr;
+  auto out = std::make_unique<Stmt>();
+  out->kind = s->kind;
+  out->loc = s->loc;
+  out->expr = clone_expr(s->expr);
+  out->expr2 = clone_expr(s->expr2);
+  out->init_stmt = clone_stmt(s->init_stmt);
+  out->body.reserve(s->body.size());
+  for (const auto& c : s->body) out->body.push_back(clone_stmt(c));
+  out->sym = s->sym;
+  out->decl_name = s->decl_name;
+  out->decl_type = s->decl_type;
+  out->decl_is_array = s->decl_is_array;
+  out->decl_array_size = s->decl_array_size;
+  out->decl_init = clone_expr(s->decl_init);
+  return out;
+}
+
+// --- Static analysis for eligibility ----------------------------------------
+
+/// Side-effect-free: no assignment, no increment, no call (even intrinsics,
+/// conservatively).
+bool expr_pure(const Expr& e) {
+  if (e.kind == ExprKind::Assign || e.kind == ExprKind::IncDec ||
+      e.kind == ExprKind::Call) {
+    return false;
+  }
+  for (const auto& c : e.children) {
+    if (!expr_pure(*c)) return false;
+  }
+  return true;
+}
+
+/// Break/continue statements that would bind OUTSIDE `s` (nested loops
+/// capture their own).
+void scan_free_jumps(const Stmt& s, bool& has_break, bool& has_continue) {
+  switch (s.kind) {
+    case StmtKind::Break: has_break = true; return;
+    case StmtKind::Continue: has_continue = true; return;
+    case StmtKind::While:
+    case StmtKind::For:
+      return;  // Inner loops bind their own break/continue.
+    case StmtKind::Block:
+    case StmtKind::If:
+      for (const auto& c : s.body) scan_free_jumps(*c, has_break, has_continue);
+      return;
+    default:
+      return;
+  }
+}
+
+/// True when control can never flow past `s` (used to keep dead-code
+/// injection out of unreachable positions the IR verifier could reject).
+bool always_terminates(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Return:
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      return true;
+    case StmtKind::Block:
+      return !s.body.empty() && always_terminates(*s.body.back());
+    case StmtKind::If:
+      return s.body.size() > 1 && always_terminates(*s.body[0]) &&
+             always_terminates(*s.body[1]);
+    default:
+      return false;
+  }
+}
+
+/// Variables an expression reads and writes, at whole-array granularity.
+/// `opaque` flags anything the analysis refuses to reason about (calls,
+/// unresolved symbols, exotic lvalues).
+struct RwSets {
+  std::set<const VarSym*> reads;
+  std::set<const VarSym*> writes;
+  bool opaque = false;
+};
+
+void collect_rw(const Expr& e, RwSets& rw) {
+  switch (e.kind) {
+    case ExprKind::Call:
+      rw.opaque = true;
+      return;
+    case ExprKind::Var:
+      if (e.sym == nullptr) { rw.opaque = true; return; }
+      rw.reads.insert(e.sym);
+      return;
+    case ExprKind::Index:
+      if (e.sym == nullptr) { rw.opaque = true; return; }
+      rw.reads.insert(e.sym);
+      collect_rw(*e.children[0], rw);
+      return;
+    case ExprKind::Assign:
+    case ExprKind::IncDec: {
+      const Expr& lv = *e.children[0];
+      const bool reads_lvalue =
+          e.kind == ExprKind::IncDec || e.op != Tok::Assign;
+      if (lv.kind == ExprKind::Var && lv.sym != nullptr) {
+        rw.writes.insert(lv.sym);
+        if (reads_lvalue) rw.reads.insert(lv.sym);
+      } else if (lv.kind == ExprKind::Index && lv.sym != nullptr) {
+        rw.writes.insert(lv.sym);
+        if (reads_lvalue) rw.reads.insert(lv.sym);
+        collect_rw(*lv.children[0], rw);
+      } else {
+        rw.opaque = true;
+        return;
+      }
+      if (e.kind == ExprKind::Assign) collect_rw(*e.children[1], rw);
+      return;
+    }
+    default:
+      for (const auto& c : e.children) collect_rw(*c, rw);
+      return;
+  }
+}
+
+bool disjoint(const std::set<const VarSym*>& a, const std::set<const VarSym*>& b) {
+  for (const VarSym* s : a) {
+    if (b.count(s) != 0) return false;
+  }
+  return true;
+}
+
+// --- Traversal --------------------------------------------------------------
+
+template <typename F>
+void walk_slots(StmtPtr& slot, F& f) {
+  f(slot);
+  Stmt& s = *slot;
+  if (s.init_stmt) walk_slots(s.init_stmt, f);
+  for (auto& c : s.body) walk_slots(c, f);
+}
+
+template <typename F>
+void walk_exprs(ExprPtr& e, F& f) {
+  if (!e) return;
+  f(e);
+  for (auto& c : e->children) walk_exprs(c, f);
+}
+
+// --- The mutator ------------------------------------------------------------
+
+struct Mutator {
+  fe::TranslationUnit& tu;
+  Rng& rng;
+  int fresh = 0;  ///< Suffix counter for generated names, unique per run.
+
+  template <typename T>
+  const T* pick(const std::vector<T>& sites) {
+    if (sites.empty()) return nullptr;
+    return &sites[rng.next_below(sites.size())];
+  }
+
+  /// Every Block statement's child list (function bodies included — they
+  /// are Blocks), across all functions.
+  std::vector<std::vector<StmtPtr>*> block_lists() {
+    std::vector<std::vector<StmtPtr>*> out;
+    auto f = [&](StmtPtr& slot) {
+      if (slot->kind == StmtKind::Block) out.push_back(&slot->body);
+    };
+    for (auto& fn : tu.functions) walk_slots(fn.body, f);
+    return out;
+  }
+
+  template <typename F>
+  void each_slot(F f) {
+    for (auto& fn : tu.functions) walk_slots(fn.body, f);
+  }
+
+  template <typename F>
+  void each_expr(F f) {
+    auto on_stmt = [&](StmtPtr& slot) {
+      Stmt& s = *slot;
+      walk_exprs(s.expr, f);
+      walk_exprs(s.expr2, f);
+      walk_exprs(s.decl_init, f);
+    };
+    each_slot(on_stmt);
+  }
+
+  std::string fresh_suffix() { return std::to_string(fresh++); }
+
+  // --- Node builders for injected code -------------------------------------
+
+  static ExprPtr make_int(std::int32_t v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::IntLit;
+    e->int_val = v;
+    return e;
+  }
+
+  static ExprPtr make_var(const std::string& name, VarSym* sym) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Var;
+    e->name = name;
+    e->sym = sym;
+    return e;
+  }
+
+  static ExprPtr make_bin(Tok op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->op = op;
+    e->children.push_back(std::move(l));
+    e->children.push_back(std::move(r));
+    return e;
+  }
+
+  static StmtPtr make_assign_stmt(const std::string& name, ExprPtr rhs) {
+    auto asn = std::make_unique<Expr>();
+    asn->kind = ExprKind::Assign;
+    asn->op = Tok::Assign;
+    asn->children.push_back(make_var(name, nullptr));
+    asn->children.push_back(std::move(rhs));
+    auto s = std::make_unique<Stmt>();
+    s->kind = StmtKind::ExprStmt;
+    s->expr = std::move(asn);
+    return s;
+  }
+
+  // --- Rewrites -------------------------------------------------------------
+
+  bool swap_statements() {
+    struct Site { std::vector<StmtPtr>* list; std::size_t i; };
+    std::vector<Site> sites;
+    for (auto* list : block_lists()) {
+      for (std::size_t i = 0; i + 1 < list->size(); ++i) {
+        const Stmt& a = *(*list)[i];
+        const Stmt& b = *(*list)[i + 1];
+        if (a.kind != StmtKind::ExprStmt || b.kind != StmtKind::ExprStmt) continue;
+        RwSets ra, rb;
+        collect_rw(*a.expr, ra);
+        collect_rw(*b.expr, rb);
+        if (ra.opaque || rb.opaque) continue;
+        if (!disjoint(ra.writes, rb.writes) || !disjoint(ra.writes, rb.reads) ||
+            !disjoint(rb.writes, ra.reads)) {
+          continue;
+        }
+        sites.push_back({list, i});
+      }
+    }
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    std::swap((*site->list)[site->i], (*site->list)[site->i + 1]);
+    return true;
+  }
+
+  bool rotate_loop() {
+    std::vector<StmtPtr*> sites;
+    each_slot([&](StmtPtr& slot) {
+      if (slot->kind != StmtKind::For || !slot->expr) return;
+      bool has_break = false, has_continue = false;
+      scan_free_jumps(*slot->body[0], has_break, has_continue);
+      if (has_continue) return;  // continue would skip the step expression.
+      sites.push_back(&slot);
+    });
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    StmtPtr* slot = *site;
+    StmtPtr orig = std::move(*slot);
+    Stmt& f = *orig;
+    auto wrapper = std::make_unique<Stmt>();
+    wrapper->kind = StmtKind::Block;
+    if (f.init_stmt) wrapper->body.push_back(std::move(f.init_stmt));
+    auto wh = std::make_unique<Stmt>();
+    wh->kind = StmtKind::While;
+    wh->expr = std::move(f.expr);
+    auto inner = std::make_unique<Stmt>();
+    inner->kind = StmtKind::Block;
+    inner->body.push_back(std::move(f.body[0]));
+    if (f.expr2) {
+      auto step = std::make_unique<Stmt>();
+      step->kind = StmtKind::ExprStmt;
+      step->expr = std::move(f.expr2);
+      inner->body.push_back(std::move(step));
+    }
+    wh->body.push_back(std::move(inner));
+    wrapper->body.push_back(std::move(wh));
+    *slot = std::move(wrapper);
+    return true;
+  }
+
+  bool peel_iteration() {
+    std::vector<StmtPtr*> sites;
+    each_slot([&](StmtPtr& slot) {
+      if (slot->kind != StmtKind::While) return;
+      bool has_break = false, has_continue = false;
+      scan_free_jumps(*slot->body[0], has_break, has_continue);
+      if (has_break || has_continue) return;  // Peeled copy is outside the loop.
+      sites.push_back(&slot);
+    });
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    StmtPtr* slot = *site;
+    StmtPtr orig = std::move(*slot);
+    const Stmt& w = *orig;
+    auto iff = std::make_unique<Stmt>();
+    iff->kind = StmtKind::If;
+    iff->expr = clone_expr(w.expr);
+    auto then = std::make_unique<Stmt>();
+    then->kind = StmtKind::Block;
+    then->body.push_back(clone_stmt(w.body[0]));
+    then->body.push_back(std::move(orig));
+    iff->body.push_back(std::move(then));
+    *slot = std::move(iff);
+    return true;
+  }
+
+  bool rename_locals() {
+    std::vector<std::vector<VarSym*>> sites;
+    for (auto& fn : tu.functions) {
+      std::set<VarSym*> seen;
+      std::vector<VarSym*> syms;
+      auto f = [&](StmtPtr& slot) {
+        if (slot->kind != StmtKind::Decl || slot->sym == nullptr) return;
+        if (slot->sym->storage != fe::Storage::Local) return;
+        if (seen.insert(slot->sym).second) syms.push_back(slot->sym);
+      };
+      walk_slots(fn.body, f);
+      if (!syms.empty()) sites.push_back(std::move(syms));
+    }
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    for (VarSym* sym : *site) sym->name += "__r" + fresh_suffix();
+    return true;
+  }
+
+  bool split_temp() {
+    struct Site { std::vector<StmtPtr>* list; std::size_t i; };
+    std::vector<Site> sites;
+    for (auto* list : block_lists()) {
+      for (std::size_t i = 0; i < list->size(); ++i) {
+        const Stmt& d = *(*list)[i];
+        if (d.kind == StmtKind::Decl && !d.decl_is_array && d.decl_init &&
+            d.sym != nullptr) {
+          sites.push_back({list, i});
+        }
+      }
+    }
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    Stmt& d = *(*site->list)[site->i];
+    VarSym* ns = tu.make_symbol();
+    ns->name = d.sym->name + "__s" + fresh_suffix();
+    ns->type = d.sym->type;
+    ns->storage = fe::Storage::Local;
+    auto nd = std::make_unique<Stmt>();
+    nd->kind = StmtKind::Decl;
+    nd->decl_type = d.decl_type;
+    nd->decl_name = ns->name;
+    nd->sym = ns;
+    nd->decl_init = std::move(d.decl_init);
+    auto ref = make_var(ns->name, ns);
+    ref->type = ns->type;
+    d.decl_init = std::move(ref);
+    site->list->insert(site->list->begin() + static_cast<std::ptrdiff_t>(site->i),
+                       std::move(nd));
+    return true;
+  }
+
+  bool inject_dead_code() {
+    struct Site { std::vector<StmtPtr>* list; std::size_t pos; };
+    std::vector<Site> sites;
+    for (auto* list : block_lists()) {
+      for (std::size_t pos = 0; pos <= list->size(); ++pos) {
+        if (pos > 0 && always_terminates(*(*list)[pos - 1])) continue;
+        sites.push_back({list, pos});
+      }
+    }
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    const std::string name = "__dead" + fresh_suffix();
+    const std::int32_t c1 = rng.next_int(1, 99);
+    const std::int32_t c2 = rng.next_int(2, 9);
+    const std::int32_t c3 = rng.next_int(1, 49);
+
+    auto decl = std::make_unique<Stmt>();
+    decl->kind = StmtKind::Decl;
+    decl->decl_type = ir::Type::I32;
+    decl->decl_name = name;
+    decl->decl_init = make_int(c1);
+
+    auto churn = make_assign_stmt(
+        name, make_bin(Tok::Plus,
+                       make_bin(Tok::Star, make_var(name, nullptr), make_int(c2)),
+                       make_int(c3)));
+
+    auto iff = std::make_unique<Stmt>();
+    iff->kind = StmtKind::If;
+    iff->expr = make_bin(Tok::Amp, make_var(name, nullptr), make_int(1));
+    auto then = std::make_unique<Stmt>();
+    then->kind = StmtKind::Block;
+    then->body.push_back(make_assign_stmt(
+        name, make_bin(Tok::Shr, make_var(name, nullptr), make_int(1))));
+    auto els = std::make_unique<Stmt>();
+    els->kind = StmtKind::Block;
+    els->body.push_back(make_assign_stmt(
+        name, make_bin(Tok::Plus, make_var(name, nullptr), make_int(3))));
+    iff->body.push_back(std::move(then));
+    iff->body.push_back(std::move(els));
+
+    auto block = std::make_unique<Stmt>();
+    block->kind = StmtKind::Block;
+    block->body.push_back(std::move(decl));
+    block->body.push_back(std::move(churn));
+    block->body.push_back(std::move(iff));
+    site->list->insert(
+        site->list->begin() + static_cast<std::ptrdiff_t>(site->pos),
+        std::move(block));
+    return true;
+  }
+
+  bool commute_operands() {
+    std::vector<Expr*> sites;
+    each_expr([&](ExprPtr& e) {
+      if (e->kind != ExprKind::Binary) return;
+      if (e->op != Tok::Plus && e->op != Tok::Star) return;
+      if (!expr_pure(*e->children[0]) || !expr_pure(*e->children[1])) return;
+      sites.push_back(e.get());
+    });
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    Expr* e = *site;
+    std::swap(e->children[0], e->children[1]);
+    return true;
+  }
+
+  bool reassociate() {
+    std::vector<Expr*> sites;
+    each_expr([&](ExprPtr& e) {
+      if (e->kind != ExprKind::Binary || e->type != ir::Type::I32) return;
+      if (e->op != Tok::Plus && e->op != Tok::Star) return;
+      const Expr& l = *e->children[0];
+      if (l.kind != ExprKind::Binary || l.op != e->op || l.type != ir::Type::I32) {
+        return;
+      }
+      if (!expr_pure(l) || !expr_pure(*e->children[1])) return;
+      sites.push_back(e.get());
+    });
+    const auto* site = pick(sites);
+    if (site == nullptr) return false;
+    Expr* e = *site;
+    ExprPtr left = std::move(e->children[0]);
+    ExprPtr a = std::move(left->children[0]);
+    ExprPtr b = std::move(left->children[1]);
+    ExprPtr c = std::move(e->children[1]);
+    // Reuse the old left node as the new right: (a op b) op c -> a op (b op c).
+    left->children[0] = std::move(b);
+    left->children[1] = std::move(c);
+    e->children[0] = std::move(a);
+    e->children[1] = std::move(left);
+    return true;
+  }
+
+  bool try_apply(Rewrite kind) {
+    switch (kind) {
+      case Rewrite::kSwapStatements: return swap_statements();
+      case Rewrite::kRotateLoop: return rotate_loop();
+      case Rewrite::kPeelIteration: return peel_iteration();
+      case Rewrite::kRenameLocals: return rename_locals();
+      case Rewrite::kSplitTemp: return split_temp();
+      case Rewrite::kInjectDeadCode: return inject_dead_code();
+      case Rewrite::kCommuteOperands: return commute_operands();
+      case Rewrite::kReassociate: return reassociate();
+    }
+    return false;
+  }
+};
+
+fe::TranslationUnit parse_and_check(std::string_view source) {
+  DiagnosticEngine diags;
+  fe::TranslationUnit tu = fe::parse(source, diags);
+  diags.check();
+  fe::analyze(tu, diags);
+  diags.check();
+  return tu;
+}
+
+}  // namespace
+
+const std::vector<Rewrite>& all_rewrites() {
+  static const std::vector<Rewrite> kinds = {
+      Rewrite::kSwapStatements, Rewrite::kRotateLoop,
+      Rewrite::kPeelIteration,  Rewrite::kRenameLocals,
+      Rewrite::kSplitTemp,      Rewrite::kInjectDeadCode,
+      Rewrite::kCommuteOperands, Rewrite::kReassociate};
+  return kinds;
+}
+
+std::string_view to_string(Rewrite kind) {
+  switch (kind) {
+    case Rewrite::kSwapStatements: return "swap_statements";
+    case Rewrite::kRotateLoop: return "rotate_loop";
+    case Rewrite::kPeelIteration: return "peel_iteration";
+    case Rewrite::kRenameLocals: return "rename_locals";
+    case Rewrite::kSplitTemp: return "split_temp";
+    case Rewrite::kInjectDeadCode: return "inject_dead_code";
+    case Rewrite::kCommuteOperands: return "commute_operands";
+    case Rewrite::kReassociate: return "reassociate";
+  }
+  return "unknown";
+}
+
+MutationResult mutate(std::string_view source, std::uint64_t seed, int count) {
+  fe::TranslationUnit tu = parse_and_check(source);
+  Rng rng(seed);
+  Mutator m{tu, rng};
+  MutationResult out;
+  for (int round = 0; round < count; ++round) {
+    std::vector<Rewrite> kinds = all_rewrites();
+    for (std::size_t i = kinds.size(); i > 1; --i) {
+      std::swap(kinds[i - 1], kinds[rng.next_below(i)]);
+    }
+    bool fired = false;
+    for (Rewrite k : kinds) {
+      if (m.try_apply(k)) {
+        out.applied.push_back(k);
+        fired = true;
+        break;
+      }
+    }
+    if (!fired) break;  // Nothing applies anywhere; stacking further is futile.
+  }
+  out.source = print_unit(tu);
+  return out;
+}
+
+std::optional<MutationResult> apply_rewrite(std::string_view source,
+                                            Rewrite kind, std::uint64_t seed) {
+  fe::TranslationUnit tu = parse_and_check(source);
+  Rng rng(seed);
+  Mutator m{tu, rng};
+  if (!m.try_apply(kind)) return std::nullopt;
+  MutationResult out;
+  out.source = print_unit(tu);
+  out.applied.push_back(kind);
+  return out;
+}
+
+}  // namespace asipfb::wl

@@ -1,0 +1,84 @@
+// Oracle-preserving structural mutator for BenchC: seeded
+// semantics-preserving rewrites of generated programs, so one
+// (family, params) point yields many structurally distinct programs that
+// all share the original workload's expected outputs and exit code.
+//
+// Preservation contract (what "semantics-preserving" means here): the
+// mutated program, compiled and simulated at any optimization level,
+// produces bit-identical output globals and exit code to the original.
+// Step and cycle counts are explicitly NOT preserved — mutations add and
+// reorder work.  Every rewrite is gated on a conservative static
+// eligibility check (see mutate.cpp for the per-rewrite rules); when no
+// site in the program satisfies a rewrite's rule, that rewrite simply does
+// not fire.
+//
+// Bit-exactness rules baked into the eligibility checks:
+//   * statement swaps require disjoint read/write sets and call-free,
+//     side-effect-free expressions on both sides;
+//   * loop rotation (for -> while canonicalization) requires no free
+//     `continue` in the body (a continue would skip the step expression);
+//   * iteration peeling requires no free `break`/`continue` (the peeled
+//     copy sits outside any loop);
+//   * operand commutation applies to `+` and `*` only, whose IEEE-754 and
+//     wrapping-i32 results are order-independent for the NaN-free programs
+//     the generator emits;
+//   * reassociation applies to integer `+`/`*` chains only, which are
+//     exactly associative under the simulator's wrapping arithmetic —
+//     float chains are never reassociated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asipfb::wl {
+
+/// The catalog of semantics-preserving rewrites.
+enum class Rewrite : std::uint8_t {
+  kSwapStatements,  ///< Swap adjacent independent assignment statements.
+  kRotateLoop,      ///< Canonicalize `for` into `{ init; while { body; step } }`.
+  kPeelIteration,   ///< `while (c) b` -> `if (c) { b; while (c) b }`.
+  kRenameLocals,    ///< Rename a function's local variables to fresh names.
+  kSplitTemp,       ///< `int v = e;` -> `int v__sN = e; int v = v__sN;`.
+  kInjectDeadCode,  ///< Insert a self-contained block over a fresh dead var.
+  kCommuteOperands, ///< Swap the operands of a pure `+` or `*`.
+  kReassociate,     ///< `(a op b) op c` -> `a op (b op c)`, integer only.
+};
+
+/// Number of Rewrite enumerators (for iteration in tests and drivers).
+inline constexpr int kRewriteCount = 8;
+
+/// All rewrite kinds, in enum order.
+[[nodiscard]] const std::vector<Rewrite>& all_rewrites();
+
+/// Stable lower-snake name of a rewrite ("swap_statements", ...).
+[[nodiscard]] std::string_view to_string(Rewrite kind);
+
+/// Outcome of a mutation run: the mutated source plus the rewrites that
+/// actually fired, in application order.
+struct MutationResult {
+  std::string source;
+  std::vector<Rewrite> applied;
+};
+
+/// Applies up to `count` stacked rewrites to `source`, choosing rewrite
+/// kinds and sites from the seeded deterministic Rng.  Each round tries
+/// rewrite kinds in a seeded order until one has an eligible site; if no
+/// kind applies anywhere the run stops early (MutationResult::applied then
+/// has fewer than `count` entries).  With `count == 0` the program is
+/// round-tripped through the parser and printer unchanged — a formatting
+/// normalization with identical semantics.
+///
+/// Deterministic: a pure function of (source, seed, count).
+/// Throws fe::CompileError when `source` is not a valid BenchC program.
+[[nodiscard]] MutationResult mutate(std::string_view source,
+                                    std::uint64_t seed, int count);
+
+/// Applies exactly one rewrite of `kind` at a seeded-random eligible site.
+/// Returns std::nullopt when the program has no eligible site for `kind`.
+[[nodiscard]] std::optional<MutationResult> apply_rewrite(
+    std::string_view source, Rewrite kind, std::uint64_t seed);
+
+}  // namespace asipfb::wl

@@ -9,7 +9,11 @@
 //   * every scenario of the generated corpus (workloads/generator.hpp) is
 //     checked sim-vs-oracle — the simulated baseline must reproduce the
 //     plain-C++ oracle's outputs word for word — and then differentially
-//     across optimization levels, like the hand-written suite.
+//     across optimization levels, like the hand-written suite.  The corpus
+//     size and seed honor ASIPFB_FUZZ_COUNT / ASIPFB_FUZZ_SEED
+//     (wl::env_corpus_spec), and the battery itself is the shared
+//     wl::check_workload harness the 10k gauntlet runs at scale — one
+//     harness, two populations.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +21,7 @@
 
 #include "sim/baseline_hash.hpp"
 #include "support/rng.hpp"
+#include "workloads/differential.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/suite.hpp"
 
@@ -216,66 +221,28 @@ TEST_P(FuzzDifferential, AllLevelsAgree) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential, ::testing::Range(1, 41));
 
 // --- Generated corpus: sim vs oracle, then levels vs baseline ---------------
+// ASIPFB_FUZZ_COUNT / ASIPFB_FUZZ_SEED reshape this population without a
+// rebuild; the default env-free run checks the full default corpus.
+
+const std::vector<wl::Workload>& env_corpus() {
+  static const std::vector<wl::Workload> shared =
+      wl::corpus(wl::env_corpus_spec());
+  return shared;
+}
 
 class CorpusDifferential : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(CorpusDifferential, SimMatchesOracleAndLevelsAgree) {
-  const wl::Workload& w = wl::default_corpus()[GetParam()];
-
-  pipeline::PreparedProgram prepared;
-  ASSERT_NO_THROW(prepared = pipeline::prepare(w.source, w.name, w.input))
-      << w.name << "\n" << w.source;
-
-  // The simulated baseline must reproduce the plain-C++ oracle bit for bit
-  // (floats compared as raw words).
-  const auto base = pipeline::execute(prepared.module, w.input, w.outputs);
-  ASSERT_TRUE(w.expected_exit.has_value()) << w.name;
-  EXPECT_EQ(base.exit_code, *w.expected_exit) << w.name;
-  for (const auto& [global, words] : w.expected) {
-    EXPECT_EQ(base.outputs.at(global), words)
-        << w.name << " global " << global << "\n" << w.source;
-  }
-
-  // The fused tier must match the unfused oracle on every scenario — down
-  // to the per-instruction execution counts (profiled over two private
-  // module copies so the attributions can be hashed independently).
-  {
-    ir::Module fused_m = prepared.module;
-    ir::Module unfused_m = prepared.module;
-    const auto fused = pipeline::execute(fused_m, w.input, w.outputs,
-                                         /*profile=*/true, /*fuse=*/true);
-    const auto unfused = pipeline::execute(unfused_m, w.input, w.outputs,
-                                           /*profile=*/true, /*fuse=*/false);
-    EXPECT_EQ(fused.exit_code, unfused.exit_code) << w.name;
-    EXPECT_EQ(fused.steps, unfused.steps) << w.name;
-    EXPECT_EQ(fused.cycles, unfused.cycles) << w.name;
-    EXPECT_EQ(fused.oob_loads, unfused.oob_loads) << w.name;
-    EXPECT_EQ(fused.outputs, unfused.outputs) << w.name;
-    EXPECT_EQ(sim::profile_hash(fused_m), sim::profile_hash(unfused_m))
-        << w.name << ": per-instruction execution counts diverged";
-  }
-
-  // And every optimization level must agree with the baseline.
-  for (auto level : {opt::OptLevel::O1, opt::OptLevel::O2}) {
-    ir::Module variant;
-    ASSERT_NO_THROW(variant = pipeline::optimized_variant(prepared, level))
-        << w.name << " level " << std::string(opt::to_string(level));
-    const auto run = pipeline::execute(variant, w.input, w.outputs);
-    EXPECT_EQ(run.exit_code, base.exit_code)
-        << w.name << " level " << std::string(opt::to_string(level));
-    for (const auto& global : w.outputs) {
-      EXPECT_EQ(run.outputs.at(global), base.outputs.at(global))
-          << w.name << " global " << global << " level "
-          << std::string(opt::to_string(level));
-    }
-  }
+  const wl::Workload& w = env_corpus()[GetParam()];
+  const wl::DifferentialOutcome outcome = wl::check_workload(w);
+  EXPECT_TRUE(outcome.ok()) << outcome.error << "\n" << w.source;
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Corpus, CorpusDifferential,
-    ::testing::Range<std::size_t>(0, wl::default_corpus().size()),
+    ::testing::Range<std::size_t>(0, env_corpus().size()),
     [](const ::testing::TestParamInfo<std::size_t>& info) {
-      return wl::default_corpus()[info.param].name;
+      return env_corpus()[info.param].name;
     });
 
 }  // namespace

@@ -1,0 +1,157 @@
+// Parameter edge cases and structural guarantees of the generator
+// families (workloads/generator.hpp):
+//   * minimum-legal parameters for every family build scenarios that pass
+//     their own oracle through the full differential battery;
+//   * out-of-range parameters are rejected with std::invalid_argument;
+//   * the control-heavy families demonstrably exercise what they claim:
+//     rle's trip counts are data-dependent (dynamic step counts vary with
+//     the data seed alone), calls compiles to a multi-function call graph,
+//     and fft carries the while-loop bit-reversal idiom.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "frontend/compile.hpp"
+#include "pipeline/driver.hpp"
+#include "workloads/differential.hpp"
+#include "workloads/generator.hpp"
+
+namespace asipfb::wl {
+namespace {
+
+void expect_passes_battery(const Workload& w) {
+  const DifferentialOutcome outcome = check_workload(w);
+  EXPECT_TRUE(outcome.ok()) << outcome.error << "\n" << w.source;
+}
+
+TEST(GeneratorEdge, MinimumLegalParamsPassTheirOracles) {
+  {
+    FirParams p;  // 1-tap FIR over a 1-sample signal, both datapaths.
+    p.taps = 1;
+    p.length = 1;
+    expect_passes_battery(make_fir_scenario(p, 1, "edge_fir_f"));
+    p.integer = true;
+    p.acc_shift = 0;
+    p.sat_bits = 0;
+    expect_passes_battery(make_fir_scenario(p, 2, "edge_fir_i"));
+  }
+  {
+    IirParams p;  // 1-section biquad over one sample.
+    p.sections = 1;
+    p.length = 1;
+    expect_passes_battery(make_iir_scenario(p, 3, "edge_iir"));
+  }
+  {
+    DftParams p;  // 2-point transform.
+    p.points = 2;
+    expect_passes_battery(make_dft_scenario(p, 4, "edge_dft"));
+  }
+  {
+    Conv2dParams p;  // 4x4 image: a single interior pixel per direction.
+    p.width = 4;
+    p.height = 4;
+    expect_passes_battery(make_conv2d_scenario(p, 5, "edge_conv2d"));
+  }
+  {
+    HistEqParams p;  // 1x1 image, binary levels.
+    p.width = 1;
+    p.height = 1;
+    p.levels = 2;
+    expect_passes_battery(make_histeq_scenario(p, 6, "edge_histeq"));
+  }
+  {
+    RleParams p;  // Two samples, two buckets.
+    p.length = 2;
+    p.levels = 2;
+    expect_passes_battery(make_rle_scenario(p, 7, "edge_rle"));
+  }
+  {
+    CallsParams p;  // 4x4 image, minimum tile side.
+    p.width = 4;
+    p.height = 4;
+    p.tile_base = 2;
+    p.bias = -64;
+    expect_passes_battery(make_calls_scenario(p, 8, "edge_calls"));
+  }
+  {
+    FftParams p;  // 4-point transform at the narrowest twiddle precision.
+    p.points = 4;
+    p.qbits = 8;
+    expect_passes_battery(make_fft_scenario(p, 9, "edge_fft"));
+  }
+}
+
+TEST(GeneratorEdge, OutOfRangeParamsAreRejected) {
+  const auto rejects = [](auto make) {
+    EXPECT_THROW((void)make(), std::invalid_argument);
+  };
+  rejects([] { FirParams p; p.taps = 0; return make_fir_scenario(p, 1, "x"); });
+  rejects([] {
+    FirParams p;
+    p.taps = 8;
+    p.length = 7;  // Shorter than the filter.
+    return make_fir_scenario(p, 1, "x");
+  });
+  rejects([] { IirParams p; p.sections = 0; return make_iir_scenario(p, 1, "x"); });
+  rejects([] { DftParams p; p.points = 1; return make_dft_scenario(p, 1, "x"); });
+  rejects([] { Conv2dParams p; p.width = 3; return make_conv2d_scenario(p, 1, "x"); });
+  rejects([] { HistEqParams p; p.levels = 1; return make_histeq_scenario(p, 1, "x"); });
+  rejects([] { RleParams p; p.length = 1; return make_rle_scenario(p, 1, "x"); });
+  rejects([] { RleParams p; p.levels = 9; return make_rle_scenario(p, 1, "x"); });
+  rejects([] { CallsParams p; p.tile_base = 1; return make_calls_scenario(p, 1, "x"); });
+  rejects([] { CallsParams p; p.bias = 100; return make_calls_scenario(p, 1, "x"); });
+  rejects([] { FftParams p; p.points = 24; return make_fft_scenario(p, 1, "x"); });
+  rejects([] { FftParams p; p.points = 2; return make_fft_scenario(p, 1, "x"); });
+  rejects([] { FftParams p; p.qbits = 15; return make_fft_scenario(p, 1, "x"); });
+}
+
+TEST(GeneratorEdge, RleTripCountsAreDataDependent) {
+  // Same parameters, different data seeds: the encoder's inner scan length
+  // is a property of the data, so the DYNAMIC step count must vary even
+  // though the program text only differs in the input binding.
+  RleParams p;
+  std::set<std::uint64_t> steps;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Workload w = make_rle_scenario(p, seed, "rle_dd");
+    const auto prepared = pipeline::prepare(w.source, w.name, w.input);
+    steps.insert(prepared.baseline_run.steps);
+  }
+  EXPECT_GE(steps.size(), 2u) << "rle dynamic behavior ignores its data";
+  // And the branchy encode/decode structure is present in the text.
+  const Workload w = make_rle_scenario(p, 1, "rle_dd");
+  EXPECT_NE(w.source.find("while ("), std::string::npos);
+  EXPECT_NE(w.source.find("break;"), std::string::npos);
+  EXPECT_NE(w.source.find("} else {"), std::string::npos);
+}
+
+TEST(GeneratorEdge, CallsBuildsAMultiFunctionCallGraph) {
+  CallsParams p;
+  const Workload w = make_calls_scenario(p, 1, "calls_graph");
+  // main + clampv + region_sum + tile_stat: a three-deep call graph.
+  const ir::Module module = fe::compile_benchc(w.source, w.name);
+  EXPECT_GE(module.functions.size(), 4u) << w.source;
+  // The tile side — every tiled loop's bound — is computed from the data:
+  // across seeds the same parameters must yield different tile counts.
+  std::set<std::int32_t> ntiles;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Workload v = make_calls_scenario(p, seed, "calls_graph");
+    ntiles.insert(v.expected.at("ntiles").at(0));
+  }
+  EXPECT_GE(ntiles.size(), 2u) << "tile side ignores the image data";
+}
+
+TEST(GeneratorEdge, FftCarriesBitReversalAndScaling) {
+  FftParams p;
+  const Workload w = make_fft_scenario(p, 1, "fft_struct");
+  EXPECT_NE(w.source.find("while ("), std::string::npos)
+      << "bit-reversal while-idiom missing";
+  EXPECT_NE(w.source.find(">> 1"), std::string::npos)
+      << "per-stage scaling missing";
+  EXPECT_NE(w.source.find("len <<= 1"), std::string::npos)
+      << "stage doubling missing";
+}
+
+}  // namespace
+}  // namespace asipfb::wl
