@@ -41,6 +41,7 @@ struct CliOptions {
   double asip_area = -1.0;
   bool dump_ir = false;
   bool fuse = sim::fuse_default();
+  bool jit = sim::jit_default();
   std::string cache_dir;
   bool help = false;
   int corpus_count = 0;  ///< > 0 selects corpus mode (no input file needed).
@@ -80,6 +81,9 @@ void print_usage(std::FILE* out) {
                "  --no-fuse            simulate on the unfused interpreter tier\n"
                "                       (bit-identical to the default fused tier,\n"
                "                       just slower; also: ASIPFB_NO_FUSE env var)\n"
+               "  --no-jit             simulate on the interpreter tiers instead\n"
+               "                       of the native-code tier (bit-identical,\n"
+               "                       just slower; also: ASIPFB_NO_JIT env var)\n"
                "  --cache-dir DIR      persistent artifact cache: profiled\n"
                "                       baselines and analysis artifacts are read\n"
                "                       from DIR when valid and written back after\n"
@@ -132,6 +136,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.dump_ir = true;
     } else if (arg == "--no-fuse") {
       options.fuse = false;
+    } else if (arg == "--no-jit") {
+      options.jit = false;
     } else if (arg == "--cache-dir") {
       const char* v = next();
       if (v == nullptr || *v == '\0') return false;
@@ -170,7 +176,7 @@ int run_file(const CliOptions& options,
 
   pipeline::WorkloadInput input;
   const pipeline::Session session(buffer.str(), options.file, input,
-                                  options.fuse, store);
+                                  options.fuse, options.jit, store);
   std::printf("%s: %llu dynamic operations, main returned %d\n\n",
               options.file.c_str(),
               static_cast<unsigned long long>(session.total_cycles()),
@@ -234,10 +240,11 @@ int run_corpus(const CliOptions& options,
     ++row.scenarios;
     try {
       const pipeline::Session session(w.source, w.name, w.input, options.fuse,
-                                      store);
+                                      options.jit, store);
       auto module = session.prepared().module;  // Private copy for re-execution.
       const auto run = pipeline::execute(module, w.input, w.outputs,
-                                         /*profile=*/false, options.fuse);
+                                         /*profile=*/false, options.fuse,
+                                         options.jit);
       if (wl::oracle_matches(w, run.exit_code, run.outputs)) {
         ++row.oracle_pass;
       } else {

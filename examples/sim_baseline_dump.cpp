@@ -20,14 +20,15 @@ int main() {
   std::printf("// name, steps, cycles, oob_loads, exit_code, exec_total, "
               "profile_hash, output_hash\n");
   for (const auto& w : wl::suite()) {
-    // Pinned to the unfused engine: the recorded table is the oracle the
-    // fused tier is differentially tested against, so it must never be
-    // regenerated through the tier under test.
-    const auto prepared =
-        pipeline::prepare(w.source, w.name, w.input, /*fuse=*/false);
+    // Pinned to the unfused interpreter: the recorded table is the oracle
+    // the fused and jit tiers are differentially tested against, so it
+    // must never be regenerated through a tier under test.
+    const auto prepared = pipeline::prepare(w.source, w.name, w.input,
+                                            /*fuse=*/false, /*jit=*/false);
     ir::Module copy = prepared.module;
     const auto run = pipeline::execute(copy, w.input, w.outputs,
-                                       /*profile=*/false, /*fuse=*/false);
+                                       /*profile=*/false, /*fuse=*/false,
+                                       /*jit=*/false);
     std::printf("    {\"%s\", %lluull, %lluull, %lluull, %d, %lluull, "
                 "0x%016llxull, 0x%016llxull},\n",
                 w.name.c_str(),

@@ -9,7 +9,7 @@ namespace asipfb::pipeline {
 
 ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
                         const std::vector<std::string>& output_globals,
-                        bool profile, bool fuse) {
+                        bool profile, bool fuse, bool jit) {
   sim::Machine machine(module);
   for (const auto& [name, values] : input.float_inputs) {
     machine.write_global(name, values);
@@ -20,6 +20,7 @@ ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
   sim::SimOptions options;
   options.profile = profile;
   options.fuse = fuse;
+  options.jit = jit;
   if (profile) sim::clear_profile(module);
   const sim::SimResult run = machine.run(options);
 
@@ -35,13 +36,13 @@ ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
 }
 
 PreparedProgram prepare(std::string_view source, std::string name,
-                        const WorkloadInput& input, bool fuse) {
-  return prepare_multi(source, std::move(name), {input}, fuse);
+                        const WorkloadInput& input, bool fuse, bool jit) {
+  return prepare_multi(source, std::move(name), {input}, fuse, jit);
 }
 
 PreparedProgram prepare_multi(std::string_view source, std::string name,
                               const std::vector<WorkloadInput>& inputs,
-                              bool fuse) {
+                              bool fuse, bool jit) {
   if (inputs.empty()) {
     throw std::invalid_argument("prepare_multi needs at least one data set");
   }
@@ -65,6 +66,7 @@ PreparedProgram prepare_multi(std::string_view source, std::string name,
     sim::SimOptions options;
     options.profile = true;
     options.fuse = fuse;
+    options.jit = jit;
     const sim::SimResult run = machine.run(options);
     prepared.baseline_run.exit_code = run.exit_code;
     prepared.baseline_run.steps = run.steps;

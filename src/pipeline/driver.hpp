@@ -50,12 +50,15 @@ struct ExecutionResult {
 };
 
 /// Runs `module`'s main over the given inputs; with `profile` the module's
-/// exec_count annotations are cleared and refilled.  `fuse` selects the
-/// simulator tier (sim/fuse.hpp); both tiers are bit-identical, so it only
-/// affects speed — pass false to pin the unfused differential oracle.
+/// exec_count annotations are cleared and refilled.  `fuse` and `jit`
+/// select the simulator tier (sim/fuse.hpp, sim/jit.hpp; jit wins when
+/// both are set and supported); all tiers are bit-identical, so they only
+/// affect speed — pass false for both to pin the unfused differential
+/// oracle, or jit=false alone for the fused interpreter.
 ExecutionResult execute(ir::Module& module, const WorkloadInput& input,
                         const std::vector<std::string>& output_globals = {},
-                        bool profile = false, bool fuse = sim::fuse_default());
+                        bool profile = false, bool fuse = sim::fuse_default(),
+                        bool jit = sim::jit_default());
 
 /// A compiled, canonicalized, profiled program — the shared baseline.
 struct PreparedProgram {
@@ -67,7 +70,8 @@ struct PreparedProgram {
 /// Steps 1-2: compile, canonicalize, verify, simulate with profiling.
 [[nodiscard]] PreparedProgram prepare(std::string_view source, std::string name,
                                       const WorkloadInput& input,
-                                      bool fuse = sim::fuse_default());
+                                      bool fuse = sim::fuse_default(),
+                                      bool jit = sim::jit_default());
 
 /// As prepare(), but profiles over several sample data sets (the paper's
 /// "Sample Benchmarks and Data"): execution counts accumulate across all
@@ -77,7 +81,8 @@ struct PreparedProgram {
 /// the last data set's outcome.
 [[nodiscard]] PreparedProgram prepare_multi(std::string_view source, std::string name,
                                             const std::vector<WorkloadInput>& inputs,
-                                            bool fuse = sim::fuse_default());
+                                            bool fuse = sim::fuse_default(),
+                                            bool jit = sim::jit_default());
 
 // --- Deprecated free-function stages ----------------------------------------
 // The functions below are thin compatibility shims over pipeline::Session

@@ -56,20 +56,21 @@ namespace asipfb::pipeline {
 class Session {
  public:
   /// Compile + canonicalize + profile `source` (driver prepare()); throws
-  /// on compile/verify/simulation failure.  `fuse` selects the simulator
-  /// tier for the profiling run (bit-identical either way).  With `store`,
-  /// the profiled baseline is loaded from disk when a valid entry exists
+  /// on compile/verify/simulation failure.  `fuse` and `jit` select the
+  /// simulator tier for the profiling run (bit-identical every way, so
+  /// cached artifact bytes never depend on them).  With `store`, the
+  /// profiled baseline is loaded from disk when a valid entry exists
   /// (skipping compile + profile entirely) and written back after a cold
   /// preparation; every stage memo slot likewise consults disk inside its
   /// one-time computation.
   Session(std::string_view source, std::string name, const WorkloadInput& input,
-          bool fuse = sim::fuse_default(),
+          bool fuse = sim::fuse_default(), bool jit = sim::jit_default(),
           std::shared_ptr<cache::Store> store = nullptr);
 
   /// As above, profiling over several sample data sets (prepare_multi()).
   Session(std::string_view source, std::string name,
           const std::vector<WorkloadInput>& inputs,
-          bool fuse = sim::fuse_default(),
+          bool fuse = sim::fuse_default(), bool jit = sim::jit_default(),
           std::shared_ptr<cache::Store> store = nullptr);
 
   /// Adopts an already-prepared baseline (no re-simulation).  The artifact

@@ -6,54 +6,12 @@
 #include <cstring>
 
 #include "sim/decode.hpp"
+#include "sim/jit.hpp"
+// Value semantics (as_i32/as_f32/fp_to_int/eval_intrinsic) are shared with
+// the JIT tier via sim/value_ops.hpp so the tiers cannot diverge.
+#include "sim/value_ops.hpp"
 
 namespace asipfb::sim {
-
-namespace {
-
-std::int32_t as_i32(std::uint32_t bits) { return static_cast<std::int32_t>(bits); }
-std::uint32_t from_i32(std::int32_t v) { return static_cast<std::uint32_t>(v); }
-
-float as_f32(std::uint32_t bits) {
-  float f = 0.0f;
-  std::memcpy(&f, &bits, sizeof f);
-  return f;
-}
-
-std::uint32_t from_f32(float f) {
-  std::uint32_t u = 0;
-  std::memcpy(&u, &f, sizeof u);
-  return u;
-}
-
-/// Truncating float->int conversion with defined out-of-range behaviour.
-std::int32_t fp_to_int(float f) {
-  if (std::isnan(f) || f >= 2147483648.0f || f < -2147483648.0f) return 0;
-  return static_cast<std::int32_t>(f);
-}
-
-/// Evaluates an intrinsic on a raw register value, mirroring the Intrin
-/// handler bit for bit (fused chains route through this).  Returns false
-/// for a malformed (None) kind.
-inline bool eval_intrinsic(ir::IntrinsicKind k, std::uint32_t in_bits,
-                           std::uint32_t& out) {
-  using enum ir::IntrinsicKind;
-  const float x = k == IAbs ? 0.0f : as_f32(in_bits);
-  switch (k) {
-    case Sin: out = from_f32(std::sin(x)); return true;
-    case Cos: out = from_f32(std::cos(x)); return true;
-    case Sqrt: out = from_f32(std::sqrt(x)); return true;
-    case FAbs: out = from_f32(std::fabs(x)); return true;
-    case IAbs: out = from_i32(std::abs(as_i32(in_bits))); return true;
-    case Exp: out = from_f32(std::exp(x)); return true;
-    case Log: out = from_f32(std::log(x)); return true;
-    case Floor: out = from_f32(std::floor(x)); return true;
-    case None: return false;
-  }
-  return false;
-}
-
-}  // namespace
 
 bool fuse_default() {
   // Cached once: the tier choice must not flip mid-process when tests
@@ -140,11 +98,15 @@ const FusionStats& Machine::fusion_stats() {
 SimResult Machine::run(const SimOptions& options, std::string_view entry) {
   const ir::FuncId fid = program_.find_function(entry);
   if (fid == ir::kNoFunc) throw SimError("no entry function: " + std::string(entry));
-  // Tier selection: both arrays have identical length and indices, so
+  // Tier selection.  The native tier wins when requested and available
+  // (jit_code() is nullptr on unsupported targets or W^X failure — then
+  // the interpreter tiers serve the run with identical results).  The
+  // interpreter tiers share flat indices with the base program, so
   // everything downstream (profiling, fault fixup, branch targets) is
   // tier-agnostic.
+  const bool use_jit = options.jit && jit_code() != nullptr;
   const DecodedInstr* const code =
-      options.fuse ? fused_code() : program_.code.data();
+      use_jit ? nullptr : (options.fuse ? fused_code() : program_.code.data());
   // Deterministic reuse: every run starts with a pristine frame region.
   // Globals are left alone so inputs written via write_global persist.
   std::fill(memory_.begin() + globals_end_,
@@ -154,7 +116,8 @@ SimResult Machine::run(const SimOptions& options, std::string_view entry) {
   // frame region as dirty so the next clear is still correct.
   if (!options.profile) {
     try {
-      return exec<false>(options, fid, code);
+      return use_jit ? exec_jit(options, fid, false)
+                     : exec<false>(options, fid, code);
     } catch (...) {
       frame_dirty_end_ = static_cast<std::uint32_t>(memory_.size());
       throw;
@@ -170,7 +133,8 @@ SimResult Machine::run(const SimOptions& options, std::string_view entry) {
   profile_.resize(program_.code.size());
   block_counts_.assign(program_.block_start.size() - 1, 0);
   try {
-    const SimResult result = exec<true>(options, fid, code);
+    const SimResult result = use_jit ? exec_jit(options, fid, true)
+                                     : exec<true>(options, fid, code);
     program_.flush_profile(profile_.data());
     return result;
   } catch (...) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -40,12 +41,25 @@ public:
 /// sim-touching suite against the unfused oracle without code changes.
 [[nodiscard]] bool fuse_default();
 
+/// Default for SimOptions::jit: on, unless the ASIPFB_NO_JIT environment
+/// variable is set (non-empty) — the same CI-override pattern as
+/// fuse_default().  Defined in sim/jit.cpp.
+[[nodiscard]] bool jit_default();
+
+/// A compiled native-code program (sim/jit.hpp); owned lazily by Machine.
+class JitProgram;
+
 struct SimOptions {
   std::uint64_t max_steps = 2'000'000'000;  ///< Fault when exceeded.
   int max_call_depth = 256;                 ///< Fault when exceeded.
   bool profile = false;                     ///< Bump Instr::exec_count.
   bool fuse = fuse_default();  ///< Execute the superinstruction tier
                                ///< (sim/fuse.hpp); off = unfused oracle.
+  bool jit = jit_default();  ///< Execute the native-code tier (sim/jit.hpp)
+                             ///< when the build supports it; takes
+                             ///< precedence over `fuse`.  Falls back to the
+                             ///< interpreter tiers when compilation is
+                             ///< unavailable — results are identical.
 };
 
 struct SimResult {
@@ -64,6 +78,9 @@ public:
   /// be structurally modified while it is in use; with SimOptions::profile
   /// a run mutates the module's exec_count annotations.
   explicit Machine(ir::Module& module, std::uint32_t frame_region_words = 1u << 20);
+
+  /// Out-of-line: jit_ needs JitProgram complete (defined in sim/jit.cpp).
+  ~Machine();
 
   /// Copies values into a named global (must exist, sizes must fit).
   void write_global(std::string_view name, std::span<const std::int32_t> values);
@@ -91,6 +108,12 @@ public:
   /// fused run has happened yet.
   [[nodiscard]] const FusionStats& fusion_stats();
 
+  /// True when this machine will run SimOptions::jit runs natively:
+  /// compilation is supported and succeeded.  Builds the JIT tier if no
+  /// jit run has happened yet.  False means such runs silently use the
+  /// interpreter tiers instead.
+  [[nodiscard]] bool jit_ready();
+
 private:
   struct Frame {
     std::uint32_t func = 0;        ///< Decoded function index.
@@ -111,6 +134,15 @@ private:
   /// The superinstruction tier, built lazily on the first fused run.
   [[nodiscard]] const DecodedInstr* fused_code();
 
+  /// The native-code tier, built lazily on the first jit run (one compile
+  /// attempt per machine).  nullptr = fall back to the interpreter tiers.
+  [[nodiscard]] const JitProgram* jit_code();
+
+  /// The host half of the JIT tier (sim/jit.cpp): runs native code via
+  /// JitProgram::enter and performs exactly the interpreter's frame
+  /// machinery on every call, return, and fault exit.
+  SimResult exec_jit(const SimOptions& options, ir::FuncId entry, bool profile);
+
   /// Expands block_counts_ into the per-instruction profile_ table.
   void expand_profile();
 
@@ -125,6 +157,12 @@ private:
   std::vector<DecodedInstr> fused_code_;  ///< Lazily built (fused_code()).
   FusionStats fusion_stats_;
   bool fused_built_ = false;
+  std::unique_ptr<JitProgram> jit_;  ///< Lazily built (jit_code()).
+  bool jit_build_attempted_ = false;
+  /// Write-only stand-in for block_counts_ on unprofiled jit runs: the
+  /// stencils bump block counters unconditionally so one compiled buffer
+  /// serves both modes.
+  std::vector<std::uint64_t> jit_scratch_counts_;
   std::vector<std::uint32_t> memory_;
   std::uint32_t globals_end_ = 0;
   /// One past the highest frame-region word any run has stored to since the

@@ -52,12 +52,16 @@ DifferentialOutcome check_workload(const Workload& w,
 
   out.fusion_ok = true;
   if (options.check_fusion) {
+    // jit=false on both sides: this leg compares the two interpreter
+    // tiers, not the native tier (the jit leg below covers that).
     ir::Module fused_m = prepared.module;
     ir::Module unfused_m = prepared.module;
     const auto fused = pipeline::execute(fused_m, w.input, w.outputs,
-                                         /*profile=*/true, /*fuse=*/true);
+                                         /*profile=*/true, /*fuse=*/true,
+                                         /*jit=*/false);
     const auto unfused = pipeline::execute(unfused_m, w.input, w.outputs,
-                                           /*profile=*/true, /*fuse=*/false);
+                                           /*profile=*/true, /*fuse=*/false,
+                                           /*jit=*/false);
     if (fused.exit_code != unfused.exit_code || fused.steps != unfused.steps ||
         fused.cycles != unfused.cycles || fused.oob_loads != unfused.oob_loads ||
         fused.outputs != unfused.outputs) {
@@ -67,6 +71,33 @@ DifferentialOutcome check_workload(const Workload& w,
       out.fusion_ok = false;
       if (out.error.empty()) {
         out.error = mismatch("fused vs unfused profile-hash divergence", w);
+      }
+    }
+  }
+
+  out.jit_ok = true;
+  if (options.check_jit) {
+    // Native tier vs the unfused interpreter oracle.  On builds where the
+    // JIT is unavailable both runs interpret — vacuously equal, matching
+    // the tier's fallback contract.
+    ir::Module jit_m = prepared.module;
+    ir::Module interp_m = prepared.module;
+    const auto jitted = pipeline::execute(jit_m, w.input, w.outputs,
+                                          /*profile=*/true, /*fuse=*/false,
+                                          /*jit=*/true);
+    const auto interp = pipeline::execute(interp_m, w.input, w.outputs,
+                                          /*profile=*/true, /*fuse=*/false,
+                                          /*jit=*/false);
+    if (jitted.exit_code != interp.exit_code || jitted.steps != interp.steps ||
+        jitted.cycles != interp.cycles ||
+        jitted.oob_loads != interp.oob_loads ||
+        jitted.outputs != interp.outputs) {
+      out.jit_ok = false;
+      if (out.error.empty()) out.error = mismatch("jit vs interpreter divergence", w);
+    } else if (sim::profile_hash(jit_m) != sim::profile_hash(interp_m)) {
+      out.jit_ok = false;
+      if (out.error.empty()) {
+        out.error = mismatch("jit vs interpreter profile-hash divergence", w);
       }
     }
   }

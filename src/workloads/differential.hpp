@@ -3,13 +3,16 @@
 // exercises exactly the checks the tests gate on instead of a diverging
 // copy.
 //
-// Three checks per workload, each independently switchable:
+// Four checks per workload, each independently switchable:
 //   * oracle: the simulated baseline must reproduce Workload::expected
 //     (raw words, floats bit-compared) and expected_exit;
 //   * levels: O1 and O2 variants must match the baseline's outputs and
 //     exit code bit for bit;
 //   * fusion: the fused interpreter tier must match the unfused oracle —
-//     outputs, exit, steps, cycles, and per-instruction profile hash.
+//     outputs, exit, steps, cycles, and per-instruction profile hash;
+//   * jit: the native-code tier (sim/jit.hpp) must match the unfused
+//     oracle on the same axes.  Reports true unchecked on builds where
+//     the JIT is unavailable (the tier then is the interpreter).
 #pragma once
 
 #include <string>
@@ -23,6 +26,7 @@ struct DifferentialOptions {
   bool check_oracle = true;
   bool check_levels = true;
   bool check_fusion = true;
+  bool check_jit = true;
 };
 
 /// Outcome of the battery on one workload.  A disabled check reports true
@@ -32,10 +36,11 @@ struct DifferentialOutcome {
   bool oracle_ok = false;
   bool levels_ok = false;
   bool fusion_ok = false;
+  bool jit_ok = false;
   std::string error;
 
   [[nodiscard]] bool ok() const {
-    return compiled && oracle_ok && levels_ok && fusion_ok;
+    return compiled && oracle_ok && levels_ok && fusion_ok && jit_ok;
   }
 };
 

@@ -187,16 +187,34 @@ TEST_P(FuzzDifferential, AllLevelsAgree) {
   const auto base = pipeline::execute(prepared.module, input, outputs);
 
   // Superinstruction fusion must be invisible on every random program: the
-  // unfused interpreter is the differential oracle for the fused tier.
+  // unfused interpreter is the differential oracle for the fused tier
+  // (jit=false pins both sides to the interpreter tiers).
   {
     const auto unfused = pipeline::execute(prepared.module, input, outputs,
-                                           /*profile=*/false, /*fuse=*/false);
+                                           /*profile=*/false, /*fuse=*/false,
+                                           /*jit=*/false);
     const auto fused = pipeline::execute(prepared.module, input, outputs,
-                                         /*profile=*/false, /*fuse=*/true);
+                                         /*profile=*/false, /*fuse=*/true,
+                                         /*jit=*/false);
     EXPECT_EQ(fused.exit_code, unfused.exit_code) << "seed " << seed;
     EXPECT_EQ(fused.steps, unfused.steps) << "seed " << seed;
     EXPECT_EQ(fused.cycles, unfused.cycles) << "seed " << seed;
     EXPECT_EQ(fused.outputs, unfused.outputs) << "seed " << seed << "\n" << source;
+  }
+
+  // And the native-code tier must be invisible against the same oracle.
+  {
+    const auto interp = pipeline::execute(prepared.module, input, outputs,
+                                          /*profile=*/false, /*fuse=*/false,
+                                          /*jit=*/false);
+    const auto jitted = pipeline::execute(prepared.module, input, outputs,
+                                          /*profile=*/false, /*fuse=*/false,
+                                          /*jit=*/true);
+    EXPECT_EQ(jitted.exit_code, interp.exit_code) << "seed " << seed;
+    EXPECT_EQ(jitted.steps, interp.steps) << "seed " << seed;
+    EXPECT_EQ(jitted.cycles, interp.cycles) << "seed " << seed;
+    EXPECT_EQ(jitted.oob_loads, interp.oob_loads) << "seed " << seed;
+    EXPECT_EQ(jitted.outputs, interp.outputs) << "seed " << seed << "\n" << source;
   }
 
   for (auto level : {opt::OptLevel::O1, opt::OptLevel::O2}) {

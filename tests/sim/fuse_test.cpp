@@ -78,10 +78,14 @@ TEST(FusePatterns, CompareBranchElidesDeadFlag) {
   EXPECT_GE(r.stats.const_alu, 1u);
 
   // Both tiers return the same exit code (the branch goes the same way).
+  // jit=false throughout this file: these are interpreter-tier
+  // comparisons, and the jit option would take precedence over fuse.
   Machine fused(m), unfused(oracle);
   SimOptions on, off;
   on.fuse = true;
+  on.jit = false;
   off.fuse = false;
+  off.jit = false;
   EXPECT_EQ(fused.run(on).exit_code, unfused.run(off).exit_code);
 }
 
@@ -165,9 +169,11 @@ void expect_tier_parity(const std::string& source,
 
   const pipeline::WorkloadInput input;
   const auto fused = pipeline::execute(fused_m, input, outputs,
-                                       /*profile=*/true, /*fuse=*/true);
+                                       /*profile=*/true, /*fuse=*/true,
+                                       /*jit=*/false);
   const auto unfused = pipeline::execute(unfused_m, input, outputs,
-                                         /*profile=*/true, /*fuse=*/false);
+                                         /*profile=*/true, /*fuse=*/false,
+                                         /*jit=*/false);
   EXPECT_EQ(fused.exit_code, unfused.exit_code);
   EXPECT_EQ(fused.steps, unfused.steps);
   EXPECT_EQ(fused.cycles, unfused.cycles);
@@ -193,9 +199,11 @@ TEST(FuseParity, SuiteWorkloadsBitIdentical) {
     opt::canonicalize(fused_m);
     ir::Module unfused_m = fused_m;
     const auto fused = pipeline::execute(fused_m, w.input, w.outputs,
-                                         /*profile=*/true, /*fuse=*/true);
+                                         /*profile=*/true, /*fuse=*/true,
+                                         /*jit=*/false);
     const auto unfused = pipeline::execute(unfused_m, w.input, w.outputs,
-                                           /*profile=*/true, /*fuse=*/false);
+                                           /*profile=*/true, /*fuse=*/false,
+                                           /*jit=*/false);
     EXPECT_EQ(fused.exit_code, unfused.exit_code);
     EXPECT_EQ(fused.steps, unfused.steps);
     EXPECT_EQ(fused.cycles, unfused.cycles);
@@ -273,6 +281,7 @@ TEST(FuseFaultParity, StoreFaultOnFollowerMatchesOracle) {
     SimOptions options;
     options.profile = true;
     options.fuse = true;
+    options.jit = false;
     try {
       machine.run(options);
       FAIL() << "fused store should have faulted";
@@ -285,6 +294,7 @@ TEST(FuseFaultParity, StoreFaultOnFollowerMatchesOracle) {
     SimOptions options;
     options.profile = true;
     options.fuse = false;
+    options.jit = false;
     try {
       machine.run(options);
       FAIL() << "unfused store should have faulted";
@@ -314,10 +324,14 @@ TEST(FuseFaultParity, StepLimitSweepMatchesOracleAtEveryBudget) {
   ir::Module unfused_m = fused_m;
   Machine fused(fused_m), unfused(unfused_m);
 
-  const std::uint64_t total = fused.run().steps;
+  SimOptions fused_opts;
+  fused_opts.fuse = true;
+  fused_opts.jit = false;
+  const std::uint64_t total = fused.run(fused_opts).steps;
   ASSERT_GT(total, 0u);
   SimOptions oracle;
   oracle.fuse = false;
+  oracle.jit = false;
   ASSERT_EQ(unfused.run(oracle).steps, total);
 
   for (std::uint64_t budget = 1; budget < total; ++budget) {
@@ -330,6 +344,7 @@ TEST(FuseFaultParity, StepLimitSweepMatchesOracleAtEveryBudget) {
     on.max_steps = budget;
     on.profile = true;
     on.fuse = true;
+    on.jit = false;
     SimOptions off = on;
     off.fuse = false;
 

@@ -1,0 +1,301 @@
+// The baseline copy-and-patch JIT tier (sim/jit.hpp): native code must be
+// semantically invisible against the unfused interpreter oracle — outputs,
+// steps, cycles, oob_loads, fault messages, and per-instruction exec_count
+// attribution are all bit-identical — and the tier must degrade gracefully
+// to the interpreter when compilation is unavailable.  The generated-corpus
+// differential in tests/integration/fuzz_differential_test.cpp extends the
+// same parity check across 96 randomized scenarios, and the gauntlet runs
+// it at 10k-program scale.
+#include "sim/jit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "frontend/compile.hpp"
+#include "ir/builder.hpp"
+#include "opt/cleanup.hpp"
+#include "pipeline/driver.hpp"
+#include "sim/baseline_hash.hpp"
+#include "sim/machine.hpp"
+#include "workloads/suite.hpp"
+
+namespace asipfb::sim {
+namespace {
+
+using ir::Builder;
+using ir::Opcode;
+using ir::Type;
+
+// --- Differential parity: native tier vs the unfused interpreter ------------
+
+/// Runs `source` on the JIT and the unfused interpreter (profiled) over two
+/// module copies and checks every observable: exit code, steps, cycles,
+/// oob_loads, declared outputs, and the per-instruction exec_count
+/// attribution (via profile_hash).  On hosts without JIT support both legs
+/// take the interpreter and the check is trivially true — the tier's
+/// fallback contract makes that the correct outcome, not a test gap.
+void expect_jit_parity(const std::string& source,
+                       const std::vector<std::string>& outputs = {}) {
+  ir::Module jit_m = fe::compile_benchc(source, "parity");
+  opt::canonicalize(jit_m);
+  ir::Module interp_m = jit_m;
+
+  const pipeline::WorkloadInput input;
+  const auto jitted = pipeline::execute(jit_m, input, outputs,
+                                        /*profile=*/true, /*fuse=*/false,
+                                        /*jit=*/true);
+  const auto interp = pipeline::execute(interp_m, input, outputs,
+                                        /*profile=*/true, /*fuse=*/false,
+                                        /*jit=*/false);
+  EXPECT_EQ(jitted.exit_code, interp.exit_code);
+  EXPECT_EQ(jitted.steps, interp.steps);
+  EXPECT_EQ(jitted.cycles, interp.cycles);
+  EXPECT_EQ(jitted.oob_loads, interp.oob_loads);
+  EXPECT_EQ(jitted.outputs, interp.outputs);
+  EXPECT_EQ(profile_hash(jit_m), profile_hash(interp_m))
+      << "per-instruction execution counts diverged";
+}
+
+TEST(JitParity, SuiteWorkloadsBitIdentical) {
+  for (const auto& w : wl::suite()) {
+    SCOPED_TRACE(w.name);
+    ir::Module jit_m = fe::compile_benchc(w.source, w.name);
+    opt::canonicalize(jit_m);
+    ir::Module interp_m = jit_m;
+    const auto jitted = pipeline::execute(jit_m, w.input, w.outputs,
+                                          /*profile=*/true, /*fuse=*/false,
+                                          /*jit=*/true);
+    const auto interp = pipeline::execute(interp_m, w.input, w.outputs,
+                                          /*profile=*/true, /*fuse=*/false,
+                                          /*jit=*/false);
+    EXPECT_EQ(jitted.exit_code, interp.exit_code);
+    EXPECT_EQ(jitted.steps, interp.steps);
+    EXPECT_EQ(jitted.cycles, interp.cycles);
+    EXPECT_EQ(jitted.oob_loads, interp.oob_loads);
+    EXPECT_EQ(jitted.outputs, interp.outputs);
+    EXPECT_EQ(profile_hash(jit_m), profile_hash(interp_m))
+        << "per-instruction execution counts diverged";
+  }
+}
+
+TEST(JitParity, SuiteCompilesOnSupportedHosts) {
+  // On a supported host every suite workload must actually take the native
+  // path — otherwise the parity tests above silently compare interpreter
+  // against interpreter and the tier is dead weight.
+  if (!jit_supported()) GTEST_SKIP() << "no JIT on this host";
+  for (const auto& w : wl::suite()) {
+    SCOPED_TRACE(w.name);
+    ir::Module m = fe::compile_benchc(w.source, w.name);
+    opt::canonicalize(m);
+    Machine machine(m);
+    EXPECT_TRUE(machine.jit_ready());
+  }
+}
+
+TEST(JitParity, OutOfBoundsLoadIsSpeculativeOnBothTiers) {
+  // A[i] with i far out of bounds must read as 0 and count one oob_load in
+  // native code, exactly like the interpreter's speculative load.
+  expect_jit_parity(
+      "int A[4];\n"
+      "int main() { int i; i = 1000000; return A[i] + 7; }\n");
+}
+
+TEST(JitParity, FloatSemanticsMatchInterpreter) {
+  // Float comparisons, conversion round trips, and intrinsic calls run on
+  // SSE scalar code in the native tier; the interpreter uses libm + C++
+  // semantics.  Both must agree bit-for-bit on the declared outputs.
+  expect_jit_parity(
+      "float F[8];\nint N[8];\nfloat facc;\n"
+      "int main() {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 8; i++) {\n"
+      "    F[i] = sqrt(i * 2.25) - sin(i * 0.5);\n"
+      "    if (F[i] < 1.5) { facc = facc + F[i]; }\n"
+      "    N[i] = (int)(F[i] * 100.0);\n"
+      "  }\n"
+      "  return (int)facc + N[7];\n"
+      "}\n",
+      {"F", "N", "facc"});
+}
+
+TEST(JitParity, ShiftAndDivisionEdgeCasesMatchInterpreter) {
+  // Shift counts hit the hardware's &31 mask; division exercises negative
+  // operands (C++ truncating semantics) — both paths must agree.
+  expect_jit_parity(
+      "int A[4];\n"
+      "int main() {\n"
+      "  int a; int b; int s;\n"
+      "  a = -2147483647 - 1; b = -1;\n"
+      "  s = (a >> 31) + (a << 1);\n"
+      "  A[0] = (-7) / 2; A[1] = (-7) % 2; A[2] = 7 / -2; A[3] = 7 % -2;\n"
+      "  return s + A[0] + A[1] + A[2] + A[3] + b;\n"
+      "}\n",
+      {"A"});
+}
+
+// --- Fault parity: native-code faults must attribute like the interpreter ---
+
+/// Builds x+y -> store [t] with t wildly out of bounds; the store faults
+/// from inside native code.
+ir::Module store_fault_module() {
+  ir::Module m;
+  ir::Function fn;
+  fn.name = "main";
+  fn.return_type = Type::I32;
+  Builder b(fn);
+  b.set_insert_point(b.create_block("entry"));
+  const auto x = b.emit_movi(0x7ffffffe);
+  const auto y = b.emit_movi(1);
+  const auto v = b.emit_movi(42);
+  const auto t = b.emit_binary(Opcode::Add, Type::I32, x, y);
+  b.emit_store(Type::I32, t, v);
+  b.emit_ret_value(v);
+  m.functions.push_back(std::move(fn));
+  return m;
+}
+
+/// Runs `m` profiled on one tier, expecting a fault; returns the message.
+std::string run_expect_fault(ir::Module& m, bool jit,
+                             std::uint64_t max_steps = 0) {
+  Machine machine(m);
+  SimOptions options;
+  options.profile = true;
+  options.fuse = false;
+  options.jit = jit;
+  if (max_steps != 0) options.max_steps = max_steps;
+  try {
+    machine.run(options);
+  } catch (const SimError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "run should have faulted (jit=" << jit << ")";
+  return {};
+}
+
+TEST(JitFaultParity, StoreFaultMidNativeCodeMatchesInterpreter) {
+  // The native store fault must carry the same message (function name and
+  // faulting address included) and truncate exec_count at the same
+  // instruction as the interpreter.
+  ir::Module jit_m = store_fault_module();
+  ir::Module interp_m = jit_m;
+  EXPECT_EQ(run_expect_fault(jit_m, /*jit=*/true),
+            run_expect_fault(interp_m, /*jit=*/false));
+  EXPECT_EQ(profile_hash(jit_m), profile_hash(interp_m))
+      << "fault-path exec_count truncation diverged";
+}
+
+TEST(JitFaultParity, DivisionFaultsMatchInterpreter) {
+  // Division and remainder by a runtime zero fault from native code with
+  // the interpreter's exact message and attribution.
+  for (const char* op : {"/", "%"}) {
+    SCOPED_TRACE(op);
+    const std::string source =
+        std::string("int main() { int z; z = 0; return 7 ") + op + " z; }\n";
+    ir::Module jit_m = fe::compile_benchc(source, "divfault");
+    opt::canonicalize(jit_m);
+    ir::Module interp_m = jit_m;
+    EXPECT_EQ(run_expect_fault(jit_m, /*jit=*/true),
+              run_expect_fault(interp_m, /*jit=*/false));
+    EXPECT_EQ(profile_hash(jit_m), profile_hash(interp_m));
+  }
+}
+
+TEST(JitFaultParity, StepLimitSweepMatchesInterpreterAtEveryBudget) {
+  // Run the same program under every step budget 1..total-1.  Each budget
+  // faults at a different instruction — deep inside compiled code — and
+  // the native tier must report the same message and the same truncated
+  // per-instruction counts as the interpreter every time.
+  const char* source =
+      "int A[8];\n"
+      "int main() {\n"
+      "  int i; int s; s = 0;\n"
+      "  for (i = 0; i < 8; i++) { A[i] = i * 3 + 1; s = s + A[i] * 2; }\n"
+      "  return s;\n"
+      "}\n";
+  ir::Module jit_m = fe::compile_benchc(source, "sweep");
+  opt::canonicalize(jit_m);
+  ir::Module interp_m = jit_m;
+
+  SimOptions oracle;
+  oracle.fuse = false;
+  oracle.jit = false;
+  const std::uint64_t total = Machine(interp_m).run(oracle).steps;
+  ASSERT_GT(total, 0u);
+
+  for (std::uint64_t budget = 1; budget < total; ++budget) {
+    clear_profile(jit_m);
+    clear_profile(interp_m);
+    EXPECT_EQ(run_expect_fault(jit_m, /*jit=*/true, budget),
+              run_expect_fault(interp_m, /*jit=*/false, budget))
+        << "budget " << budget;
+    EXPECT_EQ(profile_hash(jit_m), profile_hash(interp_m))
+        << "exec_count truncation diverged at budget " << budget;
+  }
+}
+
+// --- Fallback: the tier must disappear gracefully ---------------------------
+
+TEST(JitFallback, CompileFailureFallsBackToInterpreter) {
+  // When compilation is unavailable (unsupported host, mmap failure — here
+  // forced via the test hook), jit=true must silently take the interpreter
+  // and produce byte-identical results, not error out.
+  const wl::Workload& w = wl::suite().front();
+  ir::Module forced_m = fe::compile_benchc(w.source, w.name);
+  opt::canonicalize(forced_m);
+  ir::Module plain_m = forced_m;
+
+  jit_test_force_compile_failure(true);
+  Machine forced(forced_m);
+  EXPECT_FALSE(forced.jit_ready());
+  SimOptions with_jit;
+  with_jit.profile = true;
+  with_jit.fuse = false;
+  with_jit.jit = true;
+  const SimResult fallback = forced.run(with_jit);
+  jit_test_force_compile_failure(false);
+
+  Machine plain(plain_m);
+  SimOptions no_jit = with_jit;
+  no_jit.jit = false;
+  const SimResult interp = plain.run(no_jit);
+
+  EXPECT_EQ(fallback.exit_code, interp.exit_code);
+  EXPECT_EQ(fallback.steps, interp.steps);
+  EXPECT_EQ(fallback.cycles, interp.cycles);
+  EXPECT_EQ(fallback.oob_loads, interp.oob_loads);
+  EXPECT_EQ(profile_hash(forced_m), profile_hash(plain_m));
+}
+
+TEST(JitFallback, CompileAttemptIsMadeOncePerMachine) {
+  // The force-failure hook only affects Machines that first touch the JIT
+  // while it is set: compilation is attempted once and the result cached,
+  // so flipping the hook afterwards must not resurrect the tier.
+  if (!jit_supported()) GTEST_SKIP() << "no JIT on this host";
+  const wl::Workload& w = wl::suite().front();
+  ir::Module m = fe::compile_benchc(w.source, w.name);
+  opt::canonicalize(m);
+
+  jit_test_force_compile_failure(true);
+  Machine machine(m);
+  EXPECT_FALSE(machine.jit_ready());
+  jit_test_force_compile_failure(false);
+  EXPECT_FALSE(machine.jit_ready()) << "failed compile must stay cached";
+
+  Machine fresh(m);
+  EXPECT_TRUE(fresh.jit_ready());
+}
+
+TEST(JitFallback, DefaultMatchesEnvironment) {
+  // SimOptions::jit is wired to jit_default(), the cached ASIPFB_NO_JIT
+  // gate — the same pattern fuse uses.  (The env var is sampled once per
+  // process, so this checks consistency, not the toggle itself; the
+  // ASIPFB_NO_JIT=1 CI leg covers the off state end to end.)
+  const SimOptions options;
+  EXPECT_EQ(options.jit, jit_default());
+}
+
+}  // namespace
+}  // namespace asipfb::sim
